@@ -1,0 +1,1 @@
+bench/bench_util.ml: Analysis Analyze Bechamel Benchmark Driver Hashtbl List Measure Printf Sigil String Test Time Toolkit Workloads

@@ -1,0 +1,1 @@
+bench/exact_shadow.ml: Dbi Hashtbl List

@@ -1,0 +1,1 @@
+bench/main.ml: Analysis Bechamel Bench_util Callgrind Dbi Driver Exact_shadow Float Hashtbl List Option Printf Sigil Staged String Test Unix Workloads

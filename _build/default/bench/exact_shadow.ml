@@ -1,0 +1,56 @@
+(* Reference implementation for the reader-set ablation (DESIGN.md §5).
+
+   Sigil's Table I stores a single "last reader" pointer per byte, so when
+   two functions alternate reads of the same byte every read looks unique.
+   This tool keeps the exact set of (reader context, call) pairs per byte
+   version and counts a read as unique only on first membership — the
+   ground truth the heuristic approximates. It is deliberately simple (hashtable per byte)
+   and therefore slow and memory-hungry; the ablation quantifies both the
+   accuracy gap and the cost gap. *)
+
+type cell = {
+  mutable writer : int;
+  mutable readers : (int * int) list; (* (context, call)s that read this version *)
+}
+
+type t = {
+  table : (int, cell) Hashtbl.t;
+  mutable unique_reads : int;
+  mutable total_reads : int;
+}
+
+let create () = { table = Hashtbl.create 65536; unique_reads = 0; total_reads = 0 }
+
+let cell t addr =
+  match Hashtbl.find_opt t.table addr with
+  | Some c -> c
+  | None ->
+    let c = { writer = -1; readers = [] } in
+    Hashtbl.add t.table addr c;
+    c
+
+let tool t machine : Dbi.Tool.t =
+  {
+    (Dbi.Tool.nop "exact-shadow") with
+    on_read =
+      (fun ~ctx ~addr ~size ->
+        let call = Dbi.Machine.call_number machine ctx in
+        for i = 0 to size - 1 do
+          let c = cell t (addr + i) in
+          t.total_reads <- t.total_reads + 1;
+          if not (List.mem (ctx, call) c.readers) then begin
+            t.unique_reads <- t.unique_reads + 1;
+            c.readers <- (ctx, call) :: c.readers
+          end
+        done);
+    on_write =
+      (fun ~ctx ~addr ~size ->
+        for i = 0 to size - 1 do
+          let c = cell t (addr + i) in
+          c.writer <- ctx;
+          c.readers <- []
+        done);
+  }
+
+let unique_reads t = t.unique_reads
+let total_reads t = t.total_reads

@@ -1,0 +1,1 @@
+bin/cli_common.ml: Arg Cmdliner Format Sigil String Workloads

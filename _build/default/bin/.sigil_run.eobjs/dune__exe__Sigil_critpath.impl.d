@@ -1,0 +1,1 @@
+bin/sigil_critpath.ml: Analysis Arg Cli_common Cmd Cmdliner Driver Format List Sigil String Term Workloads

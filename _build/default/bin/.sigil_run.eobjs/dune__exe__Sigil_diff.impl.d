@@ -1,0 +1,1 @@
+bin/sigil_diff.ml: Analysis Arg Cli_common Cmd Cmdliner Format Sigil Term

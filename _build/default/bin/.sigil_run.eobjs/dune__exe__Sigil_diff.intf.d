@@ -1,0 +1,1 @@
+bin/sigil_diff.mli:

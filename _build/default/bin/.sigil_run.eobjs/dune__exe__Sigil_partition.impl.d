@@ -1,0 +1,1 @@
+bin/sigil_partition.ml: Analysis Arg Callgrind Cli_common Cmd Cmdliner Driver Format List Printf Term Workloads

@@ -1,0 +1,1 @@
+bin/sigil_reuse.ml: Analysis Arg Cli_common Cmd Cmdliner Driver Format List Option Printf Sigil Term Workloads

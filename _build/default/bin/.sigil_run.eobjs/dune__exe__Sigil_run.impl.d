@@ -1,0 +1,1 @@
+bin/sigil_run.ml: Analysis Arg Cli_common Cmd Cmdliner Dbi Driver Format Sigil Term Workloads

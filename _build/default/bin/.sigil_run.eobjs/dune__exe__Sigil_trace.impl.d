@@ -1,0 +1,1 @@
+bin/sigil_trace.ml: Arg Cli_common Cmd Cmdliner Dbi Format Option Sigil Term Workloads

@@ -1,0 +1,46 @@
+(* Shared cmdliner terms for the sigil_* binaries. *)
+
+open Cmdliner
+
+let workload_arg =
+  let doc =
+    "Workload to profile. Known: " ^ String.concat ", " (Workloads.Suite.names ()) ^ "."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+
+let scale_arg =
+  let parse s =
+    match Workloads.Scale.of_string s with
+    | Ok _ as ok -> ok
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf s = Format.pp_print_string ppf (Workloads.Scale.name s) in
+  let scale_conv = Arg.conv (parse, print) in
+  let doc = "Input scale: simsmall, simmedium or simlarge." in
+  Arg.(value & opt scale_conv Workloads.Scale.Simsmall & info [ "s"; "scale" ] ~docv:"SCALE" ~doc)
+
+let limit_arg =
+  let doc = "Maximum rows to print." in
+  Arg.(value & opt int 25 & info [ "n"; "limit" ] ~docv:"N" ~doc)
+
+let max_chunks_arg =
+  let doc =
+    "Memory-limit parameter: cap live second-level shadow chunks (freed FIFO), trading accuracy \
+     for footprint."
+  in
+  Arg.(value & opt (some int) None & info [ "max-chunks" ] ~docv:"N" ~doc)
+
+let stripped_arg =
+  let doc = "Profile as if the binary had no debugging symbols." in
+  Arg.(value & flag & info [ "stripped" ] ~doc)
+
+let resolve name =
+  match Workloads.Suite.find name with
+  | Ok w -> w
+  | Error e ->
+    prerr_endline e;
+    exit 2
+
+let with_max_chunks options = function
+  | None -> options
+  | Some n -> Sigil.Options.with_max_chunks options n

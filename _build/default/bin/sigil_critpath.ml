@@ -1,0 +1,51 @@
+(* Critical-path case study (paper §IV-C): dependency chains from the
+   event file, longest path and function-level parallelism limit. *)
+
+open Cmdliner
+
+let run name scale load_path cores =
+  let cp, describe =
+    match load_path with
+    | Some path ->
+      (* post-process a previously saved event file: context ids resolve
+         only against the run that produced it, so print raw ids *)
+      let log = Sigil.Event_log.load path in
+      (Analysis.Critpath.analyze log, fun ctx -> "ctx:" ^ string_of_int ctx)
+    | None ->
+      let workload = Cli_common.resolve name in
+      let r = Driver.run_workload ~options:Sigil.Options.(with_events default) workload scale in
+      (Driver.critpath r, Driver.fn_name r)
+  in
+  Format.printf "== critical path: %s (%s) ==@." name (Workloads.Scale.name scale);
+  Format.printf "serial length (ops):        %d@." (Analysis.Critpath.serial_length cp);
+  Format.printf "critical path length (ops): %d@." (Analysis.Critpath.critical_path_length cp);
+  Format.printf "max function-level parallelism: %.2fx@.@." (Analysis.Critpath.parallelism cp);
+  let names = List.map describe (Analysis.Critpath.critical_path_contexts cp) in
+  Format.printf "critical path (leaf -> main):@.  %s@." (String.concat " -> " names);
+  List.iter
+    (fun n ->
+      let s = Analysis.Critpath.schedule cp ~cores:n in
+      Format.printf "@.%d scheduling slots: speedup %.2fx, utilization %.1f%%@." n
+        s.Analysis.Critpath.speedup
+        (100.0 *. s.Analysis.Critpath.utilization))
+    cores
+
+let cmd =
+  let load =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "load" ] ~docv:"FILE" ~doc:"Post-process a saved event file instead of running.")
+  in
+  let cores =
+    Arg.(
+      value
+      & opt_all int []
+      & info [ "cores" ] ~docv:"N"
+          ~doc:"Also list-schedule the dependency chains onto $(docv) cores (repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "sigil_critpath" ~doc:"Critical-path analysis over Sigil event files")
+    Term.(const run $ Cli_common.workload_arg $ Cli_common.scale_arg $ load $ cores)
+
+let () = exit (Cmd.eval cmd)

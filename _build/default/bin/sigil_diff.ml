@@ -1,0 +1,30 @@
+(* Compare two saved Sigil profiles (from sigil_run --save-profile):
+   which call paths' computation or true communication moved. *)
+
+open Cmdliner
+
+let run before after limit all =
+  let load path =
+    try Sigil.Profile_io.load path
+    with Failure e | Sys_error e ->
+      prerr_endline e;
+      exit 2
+  in
+  let deltas = Analysis.Compare.diff (load before) (load after) in
+  let deltas = if all then deltas else Analysis.Compare.changed deltas in
+  if deltas = [] then print_endline "profiles are identical"
+  else Analysis.Compare.pp ~limit Format.std_formatter deltas
+
+let cmd =
+  let before =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BEFORE" ~doc:"Baseline profile.")
+  in
+  let after =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"AFTER" ~doc:"New profile.")
+  in
+  let all = Arg.(value & flag & info [ "all" ] ~doc:"Include unchanged call paths.") in
+  Cmd.v
+    (Cmd.info "sigil_diff" ~doc:"Diff two saved Sigil profiles by call path")
+    Term.(const run $ before $ after $ Cli_common.limit_arg $ all)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,102 @@
+(* Run a workload under Sigil and dump the aggregate profile (optionally
+   the event file, a saved profile, a DOT graph, or a raw trace), the
+   tool's primary interface. *)
+
+open Cmdliner
+
+let run name scale limit max_chunks stripped events_path edges flat tree save_profile dot_path
+    trace_path =
+  let workload = Cli_common.resolve name in
+  (match trace_path with
+  | Some path ->
+    let m =
+      Dbi.Trace.record path (fun m -> workload.Workloads.Workload.run m scale)
+    in
+    Format.printf "raw trace (%d guest instructions) written to %s@." (Dbi.Machine.now m) path
+  | None -> ());
+  let options = Cli_common.with_max_chunks Sigil.Options.default max_chunks in
+  let options = if events_path <> None then Sigil.Options.with_events options else options in
+  let r = Driver.run_workload ~options ~stripped workload scale in
+  let tool = Driver.sigil r in
+  let c = Dbi.Machine.counters r.Driver.machine in
+  Format.printf "== sigil: %s (%s) ==@." name (Workloads.Scale.name scale);
+  Format.printf "guest instructions: %d   calls: %d   syscalls: %d@."
+    (Dbi.Machine.now r.Driver.machine) c.Dbi.Machine.calls c.Dbi.Machine.syscalls;
+  Format.printf "shadow footprint: %.1f MB (peak %.1f MB), evictions: %d@.@."
+    (float_of_int (Sigil.Tool.shadow_footprint_bytes tool) /. 1e6)
+    (float_of_int (Sigil.Tool.shadow_footprint_peak_bytes tool) /. 1e6)
+    (Sigil.Tool.shadow_evictions tool);
+  if flat then Analysis.Flat.pp ~limit Format.std_formatter tool
+  else Sigil.Report.pp ~limit Format.std_formatter tool;
+  if tree then begin
+    Format.printf "@.calltree (inclusive ops, unique bytes in/out):@.";
+    Analysis.Flat.calltree Format.std_formatter tool
+  end;
+  if edges then begin
+    Format.printf "@.communication edges (by unique bytes):@.";
+    Sigil.Report.pp_edges ~limit Format.std_formatter tool
+  end;
+  (match save_profile with
+  | Some path ->
+    Sigil.Profile_io.save tool path;
+    Format.printf "@.profile written to %s@." path
+  | None -> ());
+  (match dot_path with
+  | Some path ->
+    Analysis.Dot.save_cdfg tool path;
+    Format.printf "@.control data flow graph (DOT) written to %s@." path
+  | None -> ());
+  match (events_path, Sigil.Tool.event_log tool) with
+  | Some path, Some log ->
+    Sigil.Event_log.save log path;
+    Format.printf "@.event file (%d records) written to %s@." (Sigil.Event_log.length log) path
+  | Some _, None | None, (Some _ | None) -> ()
+
+let cmd =
+  let events =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~docv:"FILE" ~doc:"Also record the sequential event file to $(docv).")
+  in
+  let edges =
+    Arg.(value & flag & info [ "edges" ] ~doc:"Print producer->consumer communication edges.")
+  in
+  let flat =
+    Arg.(
+      value & flag
+      & info [ "flat" ] ~doc:"Merge calling contexts by function name (gprof-style rollup).")
+  in
+  let tree =
+    Arg.(value & flag & info [ "tree" ] ~doc:"Print the calltree with inclusive costs.")
+  in
+  let save_profile =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-profile" ] ~docv:"FILE"
+          ~doc:"Write the aggregate profile to $(docv) (reload with Sigil.Profile_io).")
+  in
+  let dot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"Write the control data flow graph as Graphviz DOT.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Also record the raw event stream to $(docv) (replayable with Dbi.Trace, no re-run \
+             needed).")
+  in
+  Cmd.v
+    (Cmd.info "sigil_run" ~doc:"Profile a workload's function-level communication with Sigil")
+    Term.(
+      const run $ Cli_common.workload_arg $ Cli_common.scale_arg $ Cli_common.limit_arg
+      $ Cli_common.max_chunks_arg $ Cli_common.stripped_arg $ events $ edges $ flat $ tree
+      $ save_profile $ dot $ trace)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,50 @@
+(* Record raw guest event streams and re-analyze them offline — profiles
+   are platform-independent and only need collecting once. *)
+
+open Cmdliner
+
+let record name scale path =
+  let workload = Cli_common.resolve name in
+  let m = Dbi.Trace.record path (fun m -> workload.Workloads.Workload.run m scale) in
+  let c = Dbi.Machine.counters m in
+  Format.printf "recorded %s (%s): %d instructions, %d calls -> %s@." name
+    (Workloads.Scale.name scale) (Dbi.Machine.now m) c.Dbi.Machine.calls path
+
+let replay path limit =
+  let tool = ref None in
+  let m =
+    Dbi.Trace.replay
+      ~tools:
+        [
+          (fun machine ->
+            let t = Sigil.Tool.create machine in
+            tool := Some t;
+            Sigil.Tool.tool t);
+        ]
+      path
+  in
+  Format.printf "replayed %s: %d instructions@.@." path (Dbi.Machine.now m);
+  Sigil.Report.pp ~limit Format.std_formatter (Option.get !tool)
+
+let record_cmd =
+  let path =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE" ~doc:"Trace output file.")
+  in
+  Cmd.v
+    (Cmd.info "record" ~doc:"Run a workload and record its raw event stream")
+    Term.(const record $ Cli_common.workload_arg $ Cli_common.scale_arg $ path)
+
+let replay_cmd =
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Trace file to replay.")
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Drive Sigil from a recorded trace (no re-run needed)")
+    Term.(const replay $ path $ Cli_common.limit_arg)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "sigil_trace" ~doc:"Record and replay guest event streams")
+    [ record_cmd; replay_cmd ]
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/cache_sensitivity.ml: Analysis Cachesim Callgrind Dbi List Option Printf Workloads

@@ -1,0 +1,1 @@
+examples/critpath_study.ml: Analysis Driver Filename List Option Printf Sigil String Sys Workloads

@@ -1,0 +1,1 @@
+examples/critpath_study.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dbi Format Option Sigil

@@ -1,0 +1,1 @@
+examples/reuse_study.ml: Analysis Driver List Option Printf Sigil Workloads

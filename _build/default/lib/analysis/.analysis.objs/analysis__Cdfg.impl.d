@@ -1,0 +1,1 @@
+lib/analysis/cdfg.ml: Array Callgrind Dbi Hashtbl List Sigil

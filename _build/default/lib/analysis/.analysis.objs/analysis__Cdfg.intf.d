@@ -1,0 +1,1 @@
+lib/analysis/cdfg.mli: Callgrind Dbi Sigil

@@ -1,0 +1,1 @@
+lib/analysis/compare.ml: Format Hashtbl List Option Sigil

@@ -1,0 +1,1 @@
+lib/analysis/compare.mli: Format Sigil

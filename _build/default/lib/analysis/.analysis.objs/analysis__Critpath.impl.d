@@ -1,0 +1,1 @@
+lib/analysis/critpath.ml: Array Dbi Hashtbl List Sigil

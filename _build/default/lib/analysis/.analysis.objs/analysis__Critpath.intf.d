@@ -1,0 +1,1 @@
+lib/analysis/critpath.mli: Dbi Sigil

@@ -1,0 +1,1 @@
+lib/analysis/dot.ml: Buffer Critpath Dbi Format Fun Hashtbl List Sigil String

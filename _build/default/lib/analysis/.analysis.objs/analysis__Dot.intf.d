@@ -1,0 +1,1 @@
+lib/analysis/dot.mli: Critpath Format Sigil

@@ -1,0 +1,1 @@
+lib/analysis/flat.ml: Dbi Format Hashtbl List Sigil String

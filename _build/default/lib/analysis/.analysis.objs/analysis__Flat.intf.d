@@ -1,0 +1,1 @@
+lib/analysis/flat.mli: Format Sigil

@@ -1,0 +1,1 @@
+lib/analysis/partition.ml: Cdfg Dbi Hashtbl List

@@ -1,0 +1,1 @@
+lib/analysis/partition.mli: Cdfg Dbi

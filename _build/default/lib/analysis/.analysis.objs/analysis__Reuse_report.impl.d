@@ -1,0 +1,1 @@
+lib/analysis/reuse_report.ml: Dbi Hashtbl List Printf Sigil

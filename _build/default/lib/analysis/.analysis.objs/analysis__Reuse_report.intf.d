@@ -1,0 +1,1 @@
+lib/analysis/reuse_report.mli: Dbi Sigil

@@ -1,0 +1,75 @@
+type delta = {
+  path : string;
+  ops_before : int;
+  ops_after : int;
+  unique_in_before : int;
+  unique_in_after : int;
+  status : [ `Changed | `Added | `Removed | `Same ];
+}
+
+let index snapshot =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Sigil.Profile_io.ctx_stats) ->
+      let path = Sigil.Profile_io.path snapshot s.Sigil.Profile_io.ctx in
+      (* recursion can revisit a path string; accumulate *)
+      let ops = s.Sigil.Profile_io.int_ops + s.Sigil.Profile_io.fp_ops in
+      let unique = s.Sigil.Profile_io.input_unique in
+      match Hashtbl.find_opt table path with
+      | Some (o, u) -> Hashtbl.replace table path (o + ops, u + unique)
+      | None -> Hashtbl.replace table path (ops, unique))
+    (Sigil.Profile_io.contexts snapshot);
+  table
+
+let diff before after =
+  let b = index before and a = index after in
+  let paths = Hashtbl.create 64 in
+  Hashtbl.iter (fun p _ -> Hashtbl.replace paths p ()) b;
+  Hashtbl.iter (fun p _ -> Hashtbl.replace paths p ()) a;
+  let rows =
+    Hashtbl.fold
+      (fun path () acc ->
+        let bo, bu = Option.value ~default:(0, 0) (Hashtbl.find_opt b path) in
+        let ao, au = Option.value ~default:(0, 0) (Hashtbl.find_opt a path) in
+        let status =
+          match (Hashtbl.mem b path, Hashtbl.mem a path) with
+          | false, true -> `Added
+          | true, false -> `Removed
+          | true, true | false, false ->
+            if bo = ao && bu = au then `Same else `Changed
+        in
+        {
+          path;
+          ops_before = bo;
+          ops_after = ao;
+          unique_in_before = bu;
+          unique_in_after = au;
+          status;
+        }
+        :: acc)
+      paths []
+  in
+  List.sort
+    (fun x y ->
+      match compare (abs (y.ops_after - y.ops_before)) (abs (x.ops_after - x.ops_before)) with
+      | 0 -> compare x.path y.path
+      | c -> c)
+    rows
+
+let changed deltas = List.filter (fun d -> d.status <> `Same) deltas
+
+let status_string = function
+  | `Changed -> "~"
+  | `Added -> "+"
+  | `Removed -> "-"
+  | `Same -> "="
+
+let pp ?(limit = 25) ppf deltas =
+  Format.fprintf ppf "%2s %12s %12s %10s %10s  %s@." "" "ops-before" "ops-after" "uniq-in-b"
+    "uniq-in-a" "path";
+  List.iteri
+    (fun i d ->
+      if i < limit then
+        Format.fprintf ppf "%2s %12d %12d %10d %10d  %s@." (status_string d.status) d.ops_before
+          d.ops_after d.unique_in_before d.unique_in_after d.path)
+    deltas

@@ -1,0 +1,27 @@
+(** Profile regression comparison.
+
+    The abstract lists "application performance optimization" among the
+    tool's uses: profile a program, change it, profile again, and see
+    which functions' computation or true communication moved. This module
+    diffs two saved profiles ({!Sigil.Profile_io} snapshots), matching
+    contexts by call path, and reports per-path deltas. *)
+
+type delta = {
+  path : string;
+  ops_before : int;
+  ops_after : int;
+  unique_in_before : int; (** unique input bytes (true read set) *)
+  unique_in_after : int;
+  status : [ `Changed | `Added | `Removed | `Same ];
+}
+
+(** [diff before after] compares two snapshots; one row per call path that
+    appears in either, sorted by decreasing absolute operation delta.
+    Paths with identical numbers get [`Same]. *)
+val diff : Sigil.Profile_io.snapshot -> Sigil.Profile_io.snapshot -> delta list
+
+(** [changed deltas] drops the [`Same] rows. *)
+val changed : delta list -> delta list
+
+(** [pp ?limit ppf deltas] prints the comparison (default top 25). *)
+val pp : ?limit:int -> Format.formatter -> delta list -> unit

@@ -1,0 +1,73 @@
+(** Critical-path analysis over sequential event files (§II-C2, §IV-C).
+
+    Reconstructs the dependency chains of Fig 3 from an {!Sigil.Event_log}:
+    every function call is split into occurrence nodes (a new occurrence
+    each time the function resumes after a child call), with
+
+    - a conservative order edge from the previous occurrence of the same
+      call,
+    - a call edge from the caller's occurrence that issued the call, and
+    - data-dependency edges from the producing call's latest occurrence for
+      every transfer the fragment consumed.
+
+    Functions are modelled as non-blocking: a caller's resumption does not
+    depend on the child returning, only on explicit data edges. Node
+    self-cost is the operations retired in the fragment; the inclusive cost
+    of a node is the longest dependent chain from the program start; the
+    program's critical path is the maximum inclusive cost. The maximum
+    theoretical function-level parallelism (Fig 13) is the ratio of the
+    serial length (total operations) to the critical-path length. *)
+
+type node = {
+  ctx : Dbi.Context.id;
+  call : int;
+  occurrence : int; (** 0-based occurrence index within the call *)
+  self : int; (** operations in this fragment *)
+  inclusive : int; (** longest chain from program start through this node *)
+}
+
+type t
+
+(** [analyze log] builds every dependency chain and the critical path. *)
+val analyze : Sigil.Event_log.t -> t
+
+(** Total operations in the program (serial schedule length). *)
+val serial_length : t -> int
+
+(** Length of the longest dependent chain. *)
+val critical_path_length : t -> int
+
+(** [parallelism t] = serial / critical (1.0 for an empty program). *)
+val parallelism : t -> float
+
+(** Nodes on the critical path, program order (main-side first, leaf
+    last). *)
+val critical_path : t -> node list
+
+(** Distinct contexts along the critical path, leaf-to-start order,
+    consecutive duplicates removed — the paper's
+    [drand48_iterate -> ... -> main] rendering. *)
+val critical_path_contexts : t -> Dbi.Context.id list
+
+(** Number of occurrence nodes built. *)
+val node_count : t -> int
+
+(** {2 Scheduling}
+
+    The paper's closing application: "the functions in parallel paths in a
+    program can be mapped onto multiple cores such that dependencies are
+    respected... The developer can map dependency chains onto these slots."
+    Greedy list scheduling of the fragment DAG onto a fixed number of
+    scheduling slots. *)
+
+type schedule = {
+  cores : int;
+  makespan : int; (** schedule length in operations *)
+  speedup : float; (** serial length / makespan *)
+  utilization : float; (** busy fraction across all cores *)
+}
+
+(** [schedule t ~cores] maps every fragment onto [cores] slots, respecting
+    the dependency edges; with unlimited cores the makespan approaches the
+    critical-path length. *)
+val schedule : t -> cores:int -> schedule

@@ -1,0 +1,24 @@
+type t = {
+  table : int array; (* 2-bit counters: 0,1 predict not-taken; 2,3 taken *)
+  mask : int;
+  mutable branches : int;
+  mutable mispredicts : int;
+}
+
+let create ?(entries = 16384) () =
+  if entries <= 0 || entries land (entries - 1) <> 0 then
+    invalid_arg "Branch.create: entries must be a positive power of two";
+  { table = Array.make entries 1; mask = entries - 1; branches = 0; mispredicts = 0 }
+
+let predict t site taken =
+  let idx = (site lxor (site lsr 13)) land t.mask in
+  let counter = t.table.(idx) in
+  let predicted_taken = counter >= 2 in
+  let correct = predicted_taken = taken in
+  t.branches <- t.branches + 1;
+  if not correct then t.mispredicts <- t.mispredicts + 1;
+  t.table.(idx) <- (if taken then min 3 (counter + 1) else max 0 (counter - 1));
+  correct
+
+let branches t = t.branches
+let mispredicts t = t.mispredicts

@@ -1,0 +1,15 @@
+(** Conditional-branch predictor: per-address table of 2-bit saturating
+    counters, indexed by (hashed) branch site, as in Callgrind's [--branch-sim]. *)
+
+type t
+
+(** [create ~entries ()] builds a predictor with [entries] counters
+    (power of two, default 16384). *)
+val create : ?entries:int -> unit -> t
+
+(** [predict t site taken] records the outcome of branch [site]; returns
+    [true] when the prediction was correct. *)
+val predict : t -> int -> bool -> bool
+
+val branches : t -> int
+val mispredicts : t -> int

@@ -1,0 +1,67 @@
+type config = {
+  l1i : Cache.config;
+  l1d : Cache.config;
+  ll : Cache.config;
+}
+
+let default = { l1i = Cache.l1_default; l1d = Cache.l1_default; ll = Cache.ll_default }
+
+type counts = {
+  ir : int;
+  dr : int;
+  dw : int;
+  i1mr : int;
+  d1mr : int;
+  d1mw : int;
+  ilmr : int;
+  dlmr : int;
+  dlmw : int;
+}
+
+let zero_counts =
+  { ir = 0; dr = 0; dw = 0; i1mr = 0; d1mr = 0; d1mw = 0; ilmr = 0; dlmr = 0; dlmw = 0 }
+
+let add_counts a b =
+  {
+    ir = a.ir + b.ir;
+    dr = a.dr + b.dr;
+    dw = a.dw + b.dw;
+    i1mr = a.i1mr + b.i1mr;
+    d1mr = a.d1mr + b.d1mr;
+    d1mw = a.d1mw + b.d1mw;
+    ilmr = a.ilmr + b.ilmr;
+    dlmr = a.dlmr + b.dlmr;
+    dlmw = a.dlmw + b.dlmw;
+  }
+
+type t = {
+  l1i : Cache.t;
+  l1d : Cache.t;
+  ll : Cache.t;
+  mutable c : counts;
+}
+
+let create (cfg : config) =
+  { l1i = Cache.create cfg.l1i; l1d = Cache.create cfg.l1d; ll = Cache.create cfg.ll; c = zero_counts }
+
+let fetch t addr len =
+  let c = t.c in
+  if Cache.access t.l1i addr len then t.c <- { c with ir = c.ir + 1 }
+  else if Cache.access t.ll addr len then t.c <- { c with ir = c.ir + 1; i1mr = c.i1mr + 1 }
+  else t.c <- { c with ir = c.ir + 1; i1mr = c.i1mr + 1; ilmr = c.ilmr + 1 }
+
+let data_read t addr len =
+  let c = t.c in
+  if Cache.access t.l1d addr len then t.c <- { c with dr = c.dr + 1 }
+  else if Cache.access t.ll addr len then t.c <- { c with dr = c.dr + 1; d1mr = c.d1mr + 1 }
+  else t.c <- { c with dr = c.dr + 1; d1mr = c.d1mr + 1; dlmr = c.dlmr + 1 }
+
+let data_write t addr len =
+  let c = t.c in
+  if Cache.access t.l1d addr len then t.c <- { c with dw = c.dw + 1 }
+  else if Cache.access t.ll addr len then t.c <- { c with dw = c.dw + 1; d1mw = c.d1mw + 1 }
+  else t.c <- { c with dw = c.dw + 1; d1mw = c.d1mw + 1; dlmw = c.dlmw + 1 }
+
+let counts t = t.c
+let l1_misses c = c.i1mr + c.d1mr + c.d1mw
+let ll_misses c = c.ilmr + c.dlmr + c.dlmw

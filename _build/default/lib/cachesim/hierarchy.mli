@@ -1,0 +1,49 @@
+(** Two-level cache hierarchy (L1I + L1D, shared LL), Callgrind-style.
+
+    Misses in either L1 are forwarded to the shared last-level cache.
+    Counters use Callgrind's names: [Ir/Dr/Dw] are accesses, [I1mr/D1mr/D1mw]
+    first-level misses, [ILmr/DLmr/DLmw] last-level misses. *)
+
+type t
+
+type config = {
+  l1i : Cache.config;
+  l1d : Cache.config;
+  ll : Cache.config;
+}
+
+val default : config
+
+type counts = {
+  ir : int;
+  dr : int;
+  dw : int;
+  i1mr : int;
+  d1mr : int;
+  d1mw : int;
+  ilmr : int;
+  dlmr : int;
+  dlmw : int;
+}
+
+val zero_counts : counts
+val add_counts : counts -> counts -> counts
+
+val create : config -> t
+
+(** [fetch t addr len] simulates an instruction fetch. *)
+val fetch : t -> int -> int -> unit
+
+(** [data_read t addr len] / [data_write t addr len] simulate data
+    accesses. *)
+val data_read : t -> int -> int -> unit
+
+val data_write : t -> int -> int -> unit
+
+val counts : t -> counts
+
+(** First-level misses (instruction + data). *)
+val l1_misses : counts -> int
+
+(** Last-level misses (instruction + data). *)
+val ll_misses : counts -> int

@@ -1,0 +1,1 @@
+lib/callgrind/cost.mli:

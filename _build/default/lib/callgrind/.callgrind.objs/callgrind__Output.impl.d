@@ -1,0 +1,1 @@
+lib/callgrind/output.ml: Cost Dbi Format Fun Hashtbl List Printf String Tool

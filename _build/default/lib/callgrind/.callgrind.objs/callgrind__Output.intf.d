@@ -1,0 +1,1 @@
+lib/callgrind/output.mli: Format Tool

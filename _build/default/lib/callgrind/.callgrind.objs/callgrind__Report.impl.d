@@ -1,0 +1,1 @@
+lib/callgrind/report.ml: Cost Dbi Estimate Format List Tool

@@ -1,0 +1,1 @@
+lib/callgrind/report.mli: Cost Dbi Format Tool

@@ -1,0 +1,1 @@
+lib/callgrind/tool.ml: Array Cachesim Cost Dbi List

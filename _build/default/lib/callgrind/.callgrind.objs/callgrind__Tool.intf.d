@@ -1,0 +1,1 @@
+lib/callgrind/tool.mli: Cachesim Cost Dbi

@@ -1,0 +1,42 @@
+type row = {
+  ctx : Dbi.Context.id;
+  path : string;
+  self : Cost.t;
+  inclusive : Cost.t;
+  self_cycles : int;
+  inclusive_cycles : int;
+}
+
+let rows tool =
+  let machine = Tool.machine tool in
+  let contexts = Dbi.Machine.contexts machine in
+  let symbols = Dbi.Machine.symbols machine in
+  let all =
+    Tool.fold tool
+      (fun ctx self acc ->
+        let inclusive = Tool.inclusive_cost tool ctx in
+        {
+          ctx;
+          path = Dbi.Context.path contexts symbols ctx;
+          self = Cost.copy self;
+          inclusive;
+          self_cycles = Estimate.cycles self;
+          inclusive_cycles = Estimate.cycles inclusive;
+        }
+        :: acc)
+      []
+  in
+  List.sort (fun a b -> compare b.self_cycles a.self_cycles) all
+
+let pp ?(limit = 20) ppf tool =
+  let total = Estimate.cycles (Tool.total tool) in
+  let rows = rows tool in
+  Format.fprintf ppf "%10s %7s %12s %12s %8s  %s@." "self-cyc" "%" "incl-cyc" "Ir" "calls"
+    "function";
+  List.iteri
+    (fun i row ->
+      if i < limit then
+        Format.fprintf ppf "%10d %6.2f%% %12d %12d %8d  %s@." row.self_cycles
+          (100.0 *. float_of_int row.self_cycles /. float_of_int (max 1 total))
+          row.inclusive_cycles row.self.Cost.ir row.self.Cost.calls row.path)
+    rows

@@ -1,0 +1,18 @@
+(** Flat-profile rendering for Callgrind runs. *)
+
+type row = {
+  ctx : Dbi.Context.id;
+  path : string;
+  self : Cost.t;
+  inclusive : Cost.t;
+  self_cycles : int;
+  inclusive_cycles : int;
+}
+
+(** [rows tool] lists every context with recorded cost, sorted by
+    decreasing self cycle estimate. *)
+val rows : Tool.t -> row list
+
+(** [pp ?limit ppf tool] prints a gprof-style flat profile (default top
+    20 rows). *)
+val pp : ?limit:int -> Format.formatter -> Tool.t -> unit

@@ -1,0 +1,146 @@
+type t = {
+  machine : Dbi.Machine.t;
+  hierarchy : Cachesim.Hierarchy.t;
+  predictor : Cachesim.Branch.t;
+  mutable costs : Cost.t option array; (* indexed by context id *)
+  mutable code_cursor : int array; (* per function: next fetch offset *)
+}
+
+let create ?(cache_config = Cachesim.Hierarchy.default) machine =
+  {
+    machine;
+    hierarchy = Cachesim.Hierarchy.create cache_config;
+    predictor = Cachesim.Branch.create ();
+    costs = Array.make 256 None;
+    code_cursor = Array.make 256 0;
+  }
+
+let ensure_cost t ctx =
+  let len = Array.length t.costs in
+  if ctx >= len then begin
+    let grown = Array.make (max (2 * len) (ctx + 1)) None in
+    Array.blit t.costs 0 grown 0 len;
+    t.costs <- grown
+  end;
+  match t.costs.(ctx) with
+  | Some c -> c
+  | None ->
+    let c = Cost.zero () in
+    t.costs.(ctx) <- Some c;
+    c
+
+(* Instruction fetches walk each function's synthetic code page cyclically,
+   so I-cache behaviour scales with how many distinct functions are hot. *)
+let fetch_addr t fn =
+  let len = Array.length t.code_cursor in
+  if fn >= len then begin
+    let grown = Array.make (max (2 * len) (fn + 1)) 0 in
+    Array.blit t.code_cursor 0 grown 0 len;
+    t.code_cursor <- grown
+  end;
+  let off = t.code_cursor.(fn) in
+  t.code_cursor.(fn) <- (off + 4) land (Dbi.Symbol.code_page_size - 1);
+  Dbi.Symbol.code_base (Dbi.Machine.symbols t.machine) fn + off
+
+(* Code executed before main (process startup) fetches from a synthetic
+   page below the function code region. *)
+let startup_code_page = 0x3FFF_FFFF_F000
+
+let ctx_fn t ctx =
+  if ctx = Dbi.Context.root then -1 else Dbi.Context.fn (Dbi.Machine.contexts t.machine) ctx
+
+let fetch_addr t fn = if fn < 0 then startup_code_page else fetch_addr t fn
+
+let fetch_one t ctx =
+  let before = Cachesim.Hierarchy.counts t.hierarchy in
+  Cachesim.Hierarchy.fetch t.hierarchy (fetch_addr t (ctx_fn t ctx)) 4;
+  let after = Cachesim.Hierarchy.counts t.hierarchy in
+  let c = ensure_cost t ctx in
+  c.ir <- c.ir + 1;
+  c.i1mr <- c.i1mr + (after.i1mr - before.i1mr);
+  c.ilmr <- c.ilmr + (after.ilmr - before.ilmr)
+
+let tool t : Dbi.Tool.t =
+  {
+    name = "callgrind";
+    on_enter =
+      (fun ~ctx ~fn:_ ~call:_ ->
+        let c = ensure_cost t ctx in
+        c.calls <- c.calls + 1);
+    on_leave = (fun ~ctx:_ ~fn:_ -> ());
+    on_read =
+      (fun ~ctx ~addr ~size ->
+        fetch_one t ctx;
+        let before = Cachesim.Hierarchy.counts t.hierarchy in
+        Cachesim.Hierarchy.data_read t.hierarchy addr size;
+        let after = Cachesim.Hierarchy.counts t.hierarchy in
+        let c = ensure_cost t ctx in
+        c.dr <- c.dr + 1;
+        c.d1mr <- c.d1mr + (after.d1mr - before.d1mr);
+        c.dlmr <- c.dlmr + (after.dlmr - before.dlmr));
+    on_write =
+      (fun ~ctx ~addr ~size ->
+        fetch_one t ctx;
+        let before = Cachesim.Hierarchy.counts t.hierarchy in
+        Cachesim.Hierarchy.data_write t.hierarchy addr size;
+        let after = Cachesim.Hierarchy.counts t.hierarchy in
+        let c = ensure_cost t ctx in
+        c.dw <- c.dw + 1;
+        c.d1mw <- c.d1mw + (after.d1mw - before.d1mw);
+        c.dlmw <- c.dlmw + (after.dlmw - before.dlmw));
+    on_op =
+      (fun ~ctx ~kind ~count ->
+        for _ = 1 to count do
+          fetch_one t ctx
+        done;
+        let c = ensure_cost t ctx in
+        match kind with
+        | Dbi.Event.Int_op -> c.int_ops <- c.int_ops + count
+        | Dbi.Event.Fp_op -> c.fp_ops <- c.fp_ops + count);
+    on_branch =
+      (fun ~ctx ~taken ->
+        fetch_one t ctx;
+        let site =
+          match ctx_fn t ctx with
+          | -1 -> startup_code_page
+          | fn -> Dbi.Symbol.code_base (Dbi.Machine.symbols t.machine) fn
+        in
+        let correct = Cachesim.Branch.predict t.predictor site taken in
+        let c = ensure_cost t ctx in
+        c.bc <- c.bc + 1;
+        if not correct then c.bcm <- c.bcm + 1);
+    on_finish = (fun () -> ());
+  }
+
+let zero_shared = Cost.zero ()
+
+let cost t ctx =
+  if ctx < Array.length t.costs then
+    match t.costs.(ctx) with
+    | Some c -> c
+    | None -> zero_shared
+  else zero_shared
+
+let inclusive_cost t ctx =
+  let contexts = Dbi.Machine.contexts t.machine in
+  let acc = Cost.zero () in
+  let rec visit ctx =
+    Cost.add ~into:acc (cost t ctx);
+    List.iter visit (Dbi.Context.children contexts ctx)
+  in
+  visit ctx;
+  acc
+
+let total t = inclusive_cost t Dbi.Context.root
+
+let fold t f acc =
+  let result = ref acc in
+  Array.iteri
+    (fun ctx cost ->
+      match cost with
+      | Some c -> result := f ctx c !result
+      | None -> ())
+    t.costs;
+  !result
+
+let machine t = t.machine

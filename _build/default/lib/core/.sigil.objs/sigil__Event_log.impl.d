@@ -1,0 +1,1 @@
+lib/core/event_log.ml: Dbi List Printf String

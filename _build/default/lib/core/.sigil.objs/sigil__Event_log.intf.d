@@ -1,0 +1,1 @@
+lib/core/event_log.mli: Dbi

@@ -1,0 +1,1 @@
+lib/core/line_shadow.mli:

@@ -1,0 +1,1 @@
+lib/core/profile_io.ml: Dbi Fun Hashtbl List Printf Profile String Tool

@@ -1,0 +1,1 @@
+lib/core/report.ml: Dbi Format List Profile Tool

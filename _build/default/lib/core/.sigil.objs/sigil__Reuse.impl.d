@@ -1,0 +1,1 @@
+lib/core/reuse.ml: Array Hashtbl List Shadow

@@ -1,0 +1,1 @@
+lib/core/shadow.ml: Array Dbi Queue

@@ -1,0 +1,1 @@
+lib/core/shadow.mli: Dbi

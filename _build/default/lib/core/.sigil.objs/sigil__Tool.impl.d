@@ -1,0 +1,1 @@
+lib/core/tool.ml: Dbi Event_log Hashtbl Line_shadow List Options Profile Reuse Shadow

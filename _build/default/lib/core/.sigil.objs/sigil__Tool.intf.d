@@ -1,0 +1,1 @@
+lib/core/tool.mli: Dbi Event_log Line_shadow Options Profile Reuse

@@ -1,0 +1,56 @@
+(** Sequential event-file representation (§II-C2).
+
+    Sigil's second output form: the execution as a list of dependent
+    "events" — fragments of computation separated by data-transfer edges.
+    Order is preserved *between* functions but not within one (the paper
+    does not distinguish the order of events inside a function), so each
+    fragment carries its operation totals and the set of transfers it
+    consumed.
+
+    Entries:
+    - [Call]: a context was entered ([call] is its per-context sequence
+      number);
+    - [Comp]: computation retired by one fragment of one call;
+    - [Xfer]: bytes flowing from a producer call to the current fragment;
+    - [Ret]: the call returned.
+
+    The text serialization is line-oriented ([C]/[O]/[X]/[R] records) so
+    profiles can be post-processed without re-running Sigil — the paper's
+    planned release shipped profile data this way. *)
+
+type entry =
+  | Call of { ctx : Dbi.Context.id; call : int }
+  | Comp of { ctx : Dbi.Context.id; call : int; int_ops : int; fp_ops : int }
+  | Xfer of {
+      src_ctx : Dbi.Context.id;
+      src_call : int;
+      dst_ctx : Dbi.Context.id;
+      dst_call : int;
+      bytes : int;
+      unique_bytes : int;
+    }
+  | Ret of { ctx : Dbi.Context.id; call : int }
+
+type t
+
+val create : unit -> t
+val add : t -> entry -> unit
+val entries : t -> entry list
+val length : t -> int
+val iter : t -> (entry -> unit) -> unit
+
+(** {2 Text format} *)
+
+val entry_to_string : entry -> string
+
+(** [entry_of_string line] parses one record.
+
+    @raise Failure on a malformed line. *)
+val entry_of_string : string -> entry
+
+val save : t -> string -> unit
+
+(** [load path] reads a saved event file.
+
+    @raise Failure on a malformed file. *)
+val load : string -> t

@@ -1,0 +1,19 @@
+type t = {
+  reuse_mode : bool;
+  collect_events : bool;
+  line_size : int option;
+  max_chunks : int option;
+}
+
+let default = { reuse_mode = false; collect_events = false; line_size = None; max_chunks = None }
+let with_reuse t = { t with reuse_mode = true }
+let with_events t = { t with collect_events = true }
+
+let with_line_size t size =
+  if size <= 0 || size land (size - 1) <> 0 then
+    invalid_arg "Options.with_line_size: line size must be a positive power of two";
+  { t with line_size = Some size }
+
+let with_max_chunks t n =
+  if n <= 0 then invalid_arg "Options.with_max_chunks: must be positive";
+  { t with max_chunks = Some n }

@@ -1,0 +1,25 @@
+(** Sigil run-time options (the tool's command-line switches). *)
+
+type t = {
+  reuse_mode : bool;
+      (** extend shadow objects with re-use count and lifetime variables
+          (Table I, "Additional variables for Reuse mode") *)
+  collect_events : bool;
+      (** record the sequential event file alongside aggregates *)
+  line_size : int option;
+      (** shadow cache lines of this many bytes instead of single bytes
+          (line-granularity mode, §IV-B3); [None] = byte granularity *)
+  max_chunks : int option;
+      (** memory-limit parameter: cap on live second-level shadow chunks,
+          freed FIFO ("free up space from shadow bytes of addresses that
+          have been least recently touched"); [None] = unlimited *)
+}
+
+(** Baseline profiling: no reuse stats, no events, byte granularity,
+    unlimited shadow memory. *)
+val default : t
+
+val with_reuse : t -> t
+val with_events : t -> t
+val with_line_size : t -> int -> t
+val with_max_chunks : t -> int -> t

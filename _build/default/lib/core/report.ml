@@ -1,0 +1,66 @@
+type row = {
+  ctx : Dbi.Context.id;
+  path : string;
+  calls : int;
+  ops : int;
+  input_unique : int;
+  input_total : int;
+  local_unique : int;
+  local_total : int;
+  output_unique : int;
+  output_total : int;
+  written : int;
+}
+
+let rows tool =
+  let machine = Tool.machine tool in
+  let profile = Tool.profile tool in
+  let contexts = Dbi.Machine.contexts machine in
+  let symbols = Dbi.Machine.symbols machine in
+  let make ctx =
+    let s = Profile.stats profile ctx in
+    let output_total, output_unique = Profile.output_bytes profile ctx in
+    {
+      ctx;
+      path = Dbi.Context.path contexts symbols ctx;
+      calls = s.Profile.calls;
+      ops = s.Profile.int_ops + s.Profile.fp_ops;
+      input_unique = s.Profile.input_unique;
+      input_total = s.Profile.input_unique + s.Profile.input_nonunique;
+      local_unique = s.Profile.local_unique;
+      local_total = s.Profile.local_unique + s.Profile.local_nonunique;
+      output_unique;
+      output_total;
+      written = s.Profile.written;
+    }
+  in
+  let all = List.map make (Profile.contexts profile) in
+  List.sort (fun a b -> compare b.ops a.ops) all
+
+let pp ?(limit = 25) ppf tool =
+  Format.fprintf ppf "%10s %8s %11s %11s %11s %11s  %s@." "ops" "calls" "in-uniq/tot"
+    "local-u/tot" "out-uniq/tot" "written" "function";
+  List.iteri
+    (fun i row ->
+      if i < limit then
+        Format.fprintf ppf "%10d %8d %5d/%-5d %5d/%-5d %5d/%-6d %11d  %s@." row.ops row.calls
+          row.input_unique row.input_total row.local_unique row.local_total row.output_unique
+          row.output_total row.written row.path)
+    (rows tool)
+
+let pp_edges ?(limit = 25) ppf tool =
+  let machine = Tool.machine tool in
+  let contexts = Dbi.Machine.contexts machine in
+  let symbols = Dbi.Machine.symbols machine in
+  let edges = Profile.edges (Tool.profile tool) in
+  let edges =
+    List.sort (fun (a : Profile.edge) b -> compare b.unique_bytes a.unique_bytes) edges
+  in
+  Format.fprintf ppf "%12s %12s  %s -> %s@." "unique-bytes" "total-bytes" "producer" "consumer";
+  List.iteri
+    (fun i (e : Profile.edge) ->
+      if i < limit then
+        Format.fprintf ppf "%12d %12d  %s -> %s@." e.unique_bytes e.bytes
+          (Dbi.Context.path contexts symbols e.src)
+          (Dbi.Context.path contexts symbols e.dst))
+    edges

@@ -1,0 +1,26 @@
+(** Textual rendering of Sigil aggregate profiles. *)
+
+type row = {
+  ctx : Dbi.Context.id;
+  path : string;
+  calls : int;
+  ops : int;
+  input_unique : int;
+  input_total : int;
+  local_unique : int;
+  local_total : int;
+  output_unique : int;
+  output_total : int;
+  written : int;
+}
+
+(** [rows tool] builds one row per active context, sorted by decreasing
+    operation count. *)
+val rows : Tool.t -> row list
+
+(** [pp ?limit ppf tool] prints the aggregate profile (default top 25). *)
+val pp : ?limit:int -> Format.formatter -> Tool.t -> unit
+
+(** [pp_edges ?limit ppf tool] prints communication edges sorted by unique
+    bytes. *)
+val pp_edges : ?limit:int -> Format.formatter -> Tool.t -> unit

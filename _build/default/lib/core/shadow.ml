@@ -1,0 +1,230 @@
+type sink = {
+  on_episode_end : reader:Dbi.Context.id -> reads:int -> first:int -> last:int -> unit;
+  on_version_end : producer:Dbi.Context.id -> nonunique:int -> unit;
+}
+
+let null_sink =
+  {
+    on_episode_end = (fun ~reader:_ ~reads:_ ~first:_ ~last:_ -> ());
+    on_version_end = (fun ~producer:_ ~nonunique:_ -> ());
+  }
+
+type read_result = {
+  producer : Dbi.Context.id;
+  producer_call : int;
+  unique : bool;
+}
+
+let chunk_bits = 12
+let chunk_size = 1 lsl chunk_bits
+let chunk_bytes = chunk_size
+let max_address = 1 lsl 30
+let first_level_len = max_address lsr chunk_bits
+
+(* Reuse-mode arrays, allocated only when requested. [ep_*] track the live
+   read episode; [ver_nonunique] the live version's re-use count. *)
+type reuse_chunk = {
+  ep_first : int array;
+  ep_last : int array;
+  ep_reads : int array;
+  ver_nonunique : int array;
+}
+
+type chunk = {
+  index : int;
+  writer : int array; (* producer context, -1 = invalid *)
+  writer_call : int array option; (* producer call number, event mode only *)
+  reader : int array; (* last reader context, -1 = none *)
+  reader_call : int array;
+  reuse : reuse_chunk option;
+}
+
+type t = {
+  table : chunk option array;
+  reuse_mode : bool;
+  track_writer_call : bool;
+  max_chunks : int;
+  sink : sink;
+  fifo : int Queue.t; (* chunk indices, creation order *)
+  mutable live : int;
+  mutable peak : int;
+  mutable evictions : int;
+  mutable last_chunk : chunk option; (* single-entry lookup cache *)
+}
+
+let create ?(reuse = false) ?(track_writer_call = false) ?max_chunks ?(sink = null_sink) () =
+  {
+    table = Array.make first_level_len None;
+    reuse_mode = reuse;
+    track_writer_call;
+    max_chunks = (match max_chunks with None -> max_int | Some n -> n);
+    sink;
+    fifo = Queue.create ();
+    live = 0;
+    peak = 0;
+    evictions = 0;
+    last_chunk = None;
+  }
+
+(* Host bytes per chunk: OCaml int arrays cost 8 bytes per element plus a
+   header; the first level is one word per slot. *)
+let per_chunk_bytes reuse track_writer_call =
+  let arrays = (if reuse then 7 else 3) + (if track_writer_call then 1 else 0) in
+  arrays * ((chunk_size * 8) + 16)
+
+let footprint_bytes t =
+  (first_level_len * 8) + (t.live * per_chunk_bytes t.reuse_mode t.track_writer_call)
+
+let footprint_peak_bytes t =
+  (first_level_len * 8) + (t.peak * per_chunk_bytes t.reuse_mode t.track_writer_call)
+let chunks_live t = t.live
+let chunks_peak t = t.peak
+let evictions t = t.evictions
+
+let flush_byte t (c : chunk) i =
+  let reader = c.reader.(i) in
+  (match c.reuse with
+  | None -> ()
+  | Some r ->
+    if reader >= 0 && r.ep_reads.(i) > 0 then
+      t.sink.on_episode_end ~reader ~reads:r.ep_reads.(i) ~first:r.ep_first.(i)
+        ~last:r.ep_last.(i);
+    (* program-input bytes (never written) are data elements too; their
+       producer is the root pseudo-context *)
+    if c.writer.(i) >= 0 || reader >= 0 then begin
+      let producer = if c.writer.(i) >= 0 then c.writer.(i) else Dbi.Context.root in
+      t.sink.on_version_end ~producer ~nonunique:r.ver_nonunique.(i)
+    end);
+  c.writer.(i) <- -1;
+  (match c.writer_call with None -> () | Some wc -> wc.(i) <- 0);
+  c.reader.(i) <- -1;
+  c.reader_call.(i) <- 0;
+  match c.reuse with
+  | None -> ()
+  | Some r ->
+    r.ep_first.(i) <- 0;
+    r.ep_last.(i) <- 0;
+    r.ep_reads.(i) <- 0;
+    r.ver_nonunique.(i) <- 0
+
+let flush_chunk t c =
+  for i = 0 to chunk_size - 1 do
+    if c.writer.(i) >= 0 || c.reader.(i) >= 0 then flush_byte t c i
+  done
+
+let evict_one t =
+  match Queue.take_opt t.fifo with
+  | None -> ()
+  | Some index ->
+    (match t.table.(index) with
+    | None -> ()
+    | Some c ->
+      flush_chunk t c;
+      t.table.(index) <- None;
+      t.live <- t.live - 1;
+      t.evictions <- t.evictions + 1;
+      (match t.last_chunk with
+      | Some lc when lc.index = index -> t.last_chunk <- None
+      | Some _ | None -> ()))
+
+let new_chunk t index =
+  let reuse =
+    if t.reuse_mode then
+      Some
+        {
+          ep_first = Array.make chunk_size 0;
+          ep_last = Array.make chunk_size 0;
+          ep_reads = Array.make chunk_size 0;
+          ver_nonunique = Array.make chunk_size 0;
+        }
+    else None
+  in
+  let c =
+    {
+      index;
+      writer = Array.make chunk_size (-1);
+      writer_call = (if t.track_writer_call then Some (Array.make chunk_size 0) else None);
+      reader = Array.make chunk_size (-1);
+      reader_call = Array.make chunk_size 0;
+      reuse;
+    }
+  in
+  if t.live >= t.max_chunks then evict_one t;
+  t.table.(index) <- Some c;
+  Queue.add index t.fifo;
+  t.live <- t.live + 1;
+  if t.live > t.peak then t.peak <- t.live;
+  c
+
+let chunk_for t addr =
+  if addr < 0 || addr >= max_address then invalid_arg "Shadow: address out of range";
+  let index = addr lsr chunk_bits in
+  match t.last_chunk with
+  | Some c when c.index = index -> c
+  | Some _ | None ->
+    let c =
+      match t.table.(index) with
+      | Some c -> c
+      | None -> new_chunk t index
+    in
+    t.last_chunk <- Some c;
+    c
+
+let read t ~ctx ~call ~now addr =
+  let c = chunk_for t addr in
+  let i = addr land (chunk_size - 1) in
+  let writer = c.writer.(i) in
+  let producer = if writer >= 0 then writer else Dbi.Context.root in
+  let producer_call =
+    match c.writer_call with
+    | Some wc when writer >= 0 -> wc.(i)
+    | Some _ | None -> 0
+  in
+  (* Unique vs non-unique follows the (function, call) pair, which is why
+     Table I stores both the last reader and the last reader call: a read
+     is non-unique only when the same call of the same function already
+     read the byte. An accelerator must re-fetch its inputs on every
+     invocation, so cross-call re-reads count as unique communication. *)
+  let same_episode = c.reader.(i) = ctx && c.reader_call.(i) = call in
+  (match c.reuse with
+  | None -> ()
+  | Some r ->
+    if same_episode then begin
+      r.ep_reads.(i) <- r.ep_reads.(i) + 1;
+      r.ep_last.(i) <- now;
+      r.ver_nonunique.(i) <- r.ver_nonunique.(i) + 1
+    end
+    else begin
+      (* close the previous reader's episode, open a new one *)
+      if c.reader.(i) >= 0 && r.ep_reads.(i) > 0 then
+        t.sink.on_episode_end ~reader:c.reader.(i) ~reads:r.ep_reads.(i) ~first:r.ep_first.(i)
+          ~last:r.ep_last.(i);
+      r.ep_first.(i) <- now;
+      r.ep_last.(i) <- now;
+      r.ep_reads.(i) <- 1
+    end);
+  c.reader.(i) <- ctx;
+  c.reader_call.(i) <- call;
+  { producer; producer_call; unique = not same_episode }
+
+let write t ~ctx ~call ~now:_ addr =
+  let c = chunk_for t addr in
+  let i = addr land (chunk_size - 1) in
+  if c.writer.(i) >= 0 || c.reader.(i) >= 0 then flush_byte t c i;
+  c.writer.(i) <- ctx;
+  match c.writer_call with None -> () | Some wc -> wc.(i) <- call
+
+let flush t =
+  Array.iter
+    (function
+      | Some c -> flush_chunk t c
+      | None -> ())
+    t.table
+
+let producer_of t addr =
+  if addr < 0 || addr >= max_address then invalid_arg "Shadow: address out of range";
+  match t.table.(addr lsr chunk_bits) with
+  | None -> None
+  | Some c ->
+    let w = c.writer.(addr land (chunk_size - 1)) in
+    if w >= 0 then Some w else None

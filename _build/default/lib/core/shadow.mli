@@ -1,0 +1,102 @@
+(** Two-level shadow memory (Table I).
+
+    Holds a shadow object for every unique data byte the guest touches,
+    invisible to the guest itself. The structure follows Nethercote &
+    Seward: a first-level table indexed by the high bits of the address
+    whose second-level chunks are created only when the corresponding part
+    of the address space is accessed.
+
+    Baseline shadow object: last writer (context), last reader (context)
+    and last reader call number. Reuse mode extends it with the re-use
+    count and the first/last access timestamps.
+
+    Two derived notions feed the re-use statistics:
+
+    - an {e episode}: the consecutive reads of one byte by one function
+      call (the paper's re-use lifetime is measured "within a function
+      call"). An episode ends when a different context or call reads the
+      byte, when the byte is overwritten, on eviction, or at program end.
+    - a {e version}: the value written by one producer. A version ends on
+      overwrite, eviction, or program end; its re-use count is the number
+      of non-unique reads it received.
+
+    A FIFO memory limiter ([max_chunks]) frees the oldest second-level
+    chunks, trading accuracy for footprint (the paper needs this only for
+    dedup and reports the loss as negligible). *)
+
+type t
+
+(** Where finished episodes and versions are reported (the {!Reuse}
+    accumulator implements this). *)
+type sink = {
+  on_episode_end : reader:Dbi.Context.id -> reads:int -> first:int -> last:int -> unit;
+      (** A byte's read episode closed: [reads] total reads by this
+          (context, call), first/last read timestamps. *)
+  on_version_end : producer:Dbi.Context.id -> nonunique:int -> unit;
+      (** A byte version died; [nonunique] is its re-use count. Program
+          input (bytes read but never written) reports with
+          [producer = Dbi.Context.root]. Only emitted in reuse mode. *)
+}
+
+val null_sink : sink
+
+(** Result of shadowing one read. *)
+type read_result = {
+  producer : Dbi.Context.id;
+      (** last writer, or {!Dbi.Context.root} when the byte was never
+          written (program input) *)
+  producer_call : int;
+      (** the producer's call number, when [track_writer_call] was set
+          (0 otherwise) — event files need it to attach transfer edges to
+          the right call of the producer *)
+  unique : bool;
+      (** first read by this (context, call) since the last write — the
+          reason Table I stores both the last reader and its call number.
+          Cross-call re-reads by the same function are unique: an
+          accelerator re-fetches its inputs on every invocation. *)
+}
+
+(** [create ~reuse ~track_writer_call ~max_chunks ~sink ()] builds an empty
+    table. [reuse] allocates the extended shadow objects;
+    [track_writer_call] adds the producer call number (used in event-file
+    mode). *)
+val create : ?reuse:bool -> ?track_writer_call:bool -> ?max_chunks:int -> ?sink:sink -> unit -> t
+
+(** [read t ~ctx ~call ~now addr] classifies and records a 1-byte read.
+
+    @raise Invalid_argument if [addr] is outside the shadowed region. *)
+val read : t -> ctx:Dbi.Context.id -> call:int -> now:int -> int -> read_result
+
+(** [write t ~ctx ~call ~now addr] records a 1-byte write: the previous
+    version (if any) is flushed to the sink and [ctx] becomes the
+    producer. *)
+val write : t -> ctx:Dbi.Context.id -> call:int -> now:int -> int -> unit
+
+(** [flush t] ends every live episode and version (program end). The table
+    remains usable. *)
+val flush : t -> unit
+
+(** {2 Introspection} *)
+
+(** Highest shadowable address (exclusive). *)
+val max_address : int
+
+val chunk_bytes : int
+
+(** Live second-level chunks. *)
+val chunks_live : t -> int
+
+val chunks_peak : t -> int
+
+(** Chunks freed by the FIFO limiter. *)
+val evictions : t -> int
+
+(** Current footprint estimate in host bytes (first-level table + live
+    chunks). *)
+val footprint_bytes : t -> int
+
+val footprint_peak_bytes : t -> int
+
+(** [producer_of t addr] peeks at the current producer without recording a
+    read; [None] if the byte has no live shadow. Test/debug helper. *)
+val producer_of : t -> int -> Dbi.Context.id option

@@ -1,0 +1,191 @@
+(* Per-fragment transfer accumulator: key packs (src context, src call). *)
+let xfer_key src_ctx src_call = (src_ctx lsl 40) lor (src_call land ((1 lsl 40) - 1))
+let xfer_src key = key lsr 40
+let xfer_call key = key land ((1 lsl 40) - 1)
+
+type xfer_acc = { mutable bytes : int; mutable unique : int }
+
+type frame = {
+  ctx : Dbi.Context.id;
+  call : int;
+  mutable frag_int_ops : int;
+  mutable frag_fp_ops : int;
+  frag_xfers : (int, xfer_acc) Hashtbl.t;
+}
+
+type t = {
+  options : Options.t;
+  machine : Dbi.Machine.t;
+  shadow : Shadow.t;
+  profile : Profile.t;
+  reuse : Reuse.t;
+  line : Line_shadow.t option;
+  log : Event_log.t option;
+  mutable stack : frame list; (* innermost first; bottom = synthetic root *)
+}
+
+let new_frame ctx call =
+  { ctx; call; frag_int_ops = 0; frag_fp_ops = 0; frag_xfers = Hashtbl.create 8 }
+
+let create ?(options = Options.default) machine =
+  let reuse = Reuse.create () in
+  let shadow =
+    Shadow.create ~reuse:options.Options.reuse_mode
+      ~track_writer_call:options.Options.collect_events
+      ?max_chunks:options.Options.max_chunks ~sink:(Reuse.sink reuse) ()
+  in
+  {
+    options;
+    machine;
+    shadow;
+    profile = Profile.create ();
+    reuse;
+    line =
+      (match options.Options.line_size with
+      | Some size -> Some (Line_shadow.create ~line_size:size ())
+      | None -> None);
+    log = (if options.Options.collect_events then Some (Event_log.create ()) else None);
+    stack = [ new_frame Dbi.Context.root 0 ];
+  }
+
+let flush_fragment t frame =
+  match t.log with
+  | None -> ()
+  | Some log ->
+    if frame.frag_int_ops > 0 || frame.frag_fp_ops > 0 then
+      Event_log.add log
+        (Comp
+           {
+             ctx = frame.ctx;
+             call = frame.call;
+             int_ops = frame.frag_int_ops;
+             fp_ops = frame.frag_fp_ops;
+           });
+    frame.frag_int_ops <- 0;
+    frame.frag_fp_ops <- 0;
+    if Hashtbl.length frame.frag_xfers > 0 then begin
+      (* deterministic order for reproducible event files *)
+      let keys = Hashtbl.fold (fun k _ acc -> k :: acc) frame.frag_xfers [] in
+      List.iter
+        (fun key ->
+          let acc = Hashtbl.find frame.frag_xfers key in
+          Event_log.add log
+            (Xfer
+               {
+                 src_ctx = xfer_src key;
+                 src_call = xfer_call key;
+                 dst_ctx = frame.ctx;
+                 dst_call = frame.call;
+                 bytes = acc.bytes;
+                 unique_bytes = acc.unique;
+               }))
+        (List.sort compare keys);
+      Hashtbl.reset frame.frag_xfers
+    end
+
+let top t =
+  match t.stack with
+  | frame :: _ -> frame
+  | [] -> assert false (* the synthetic root frame is never popped *)
+
+let byte_read t frame addr =
+  let r =
+    Shadow.read t.shadow ~ctx:frame.ctx ~call:frame.call ~now:(Dbi.Machine.now t.machine) addr
+  in
+  Profile.record_read t.profile ~producer:r.Shadow.producer ~consumer:frame.ctx
+    ~unique:r.Shadow.unique ~bytes:1;
+  match t.log with
+  | None -> ()
+  | Some _ ->
+    (* Dependency edges also cover a function consuming data from an
+       earlier call of itself (the PRNG-state chains of §IV-C); only reads
+       of the current call's own writes impose no ordering. *)
+    if r.Shadow.producer <> frame.ctx || r.Shadow.producer_call <> frame.call then begin
+      let key = xfer_key r.Shadow.producer r.Shadow.producer_call in
+      let acc =
+        match Hashtbl.find_opt frame.frag_xfers key with
+        | Some acc -> acc
+        | None ->
+          let acc = { bytes = 0; unique = 0 } in
+          Hashtbl.add frame.frag_xfers key acc;
+          acc
+      in
+      acc.bytes <- acc.bytes + 1;
+      if r.Shadow.unique then acc.unique <- acc.unique + 1
+    end
+
+let tool t : Dbi.Tool.t =
+  let line_mode = t.line <> None in
+  {
+    name = "sigil";
+    on_enter =
+      (fun ~ctx ~fn:_ ~call ->
+        if not line_mode then begin
+          let parent = top t in
+          flush_fragment t parent;
+          Profile.record_call t.profile ~ctx;
+          (match t.log with
+          | Some log -> Event_log.add log (Call { ctx; call })
+          | None -> ());
+          t.stack <- new_frame ctx call :: t.stack
+        end);
+    on_leave =
+      (fun ~ctx:_ ~fn:_ ->
+        if not line_mode then begin
+          match t.stack with
+          | [ _root ] -> () (* unbalanced leave; machine validates, be safe *)
+          | frame :: rest ->
+            flush_fragment t frame;
+            (match t.log with
+            | Some log -> Event_log.add log (Ret { ctx = frame.ctx; call = frame.call })
+            | None -> ());
+            t.stack <- rest
+          | [] -> assert false
+        end);
+    on_read =
+      (fun ~ctx:_ ~addr ~size ->
+        match t.line with
+        | Some line -> Line_shadow.touch line ~now:(Dbi.Machine.now t.machine) addr size
+        | None ->
+          let frame = top t in
+          for i = 0 to size - 1 do
+            byte_read t frame (addr + i)
+          done);
+    on_write =
+      (fun ~ctx ~addr ~size ->
+        match t.line with
+        | Some line -> Line_shadow.touch line ~now:(Dbi.Machine.now t.machine) addr size
+        | None ->
+          let frame = top t in
+          Profile.record_write t.profile ~ctx ~bytes:size;
+          let now = Dbi.Machine.now t.machine in
+          for i = 0 to size - 1 do
+            Shadow.write t.shadow ~ctx:frame.ctx ~call:frame.call ~now (addr + i)
+          done);
+    on_op =
+      (fun ~ctx ~kind ~count ->
+        if not line_mode then begin
+          Profile.record_ops t.profile ~ctx kind count;
+          let frame = top t in
+          match kind with
+          | Dbi.Event.Int_op -> frame.frag_int_ops <- frame.frag_int_ops + count
+          | Dbi.Event.Fp_op -> frame.frag_fp_ops <- frame.frag_fp_ops + count
+        end);
+    on_branch = (fun ~ctx:_ ~taken:_ -> ());
+    on_finish =
+      (fun () ->
+        (match t.stack with
+        | [ root ] -> flush_fragment t root
+        | frames -> List.iter (flush_fragment t) frames);
+        Shadow.flush t.shadow);
+  }
+
+let options t = t.options
+let machine t = t.machine
+let profile t = t.profile
+let reuse t = t.reuse
+let line_shadow t = t.line
+let event_log t = t.log
+let shadow_footprint_bytes t = Shadow.footprint_bytes t.shadow
+let shadow_footprint_peak_bytes t = Shadow.footprint_peak_bytes t.shadow
+let shadow_evictions t = Shadow.evictions t.shadow

@@ -1,0 +1,39 @@
+(** The Sigil tool.
+
+    Hooks into the DBI machine the way Sigil hooks into Callgrind: it
+    receives function names, addresses and operation counts, shadows every
+    data byte, and produces the paper's outputs — the per-context aggregate
+    {!Profile}, the {!Reuse} statistics (reuse mode), the {!Line_shadow}
+    records (line mode), and the sequential {!Event_log} (event mode).
+
+    In line-granularity mode the tool shadows lines instead of bytes and
+    skips per-function aggregation, exactly as §IV-B3 describes; the
+    byte-level machinery is disabled for that run. *)
+
+type t
+
+val create : ?options:Options.t -> Dbi.Machine.t -> t
+
+(** The callback record to attach to the machine. *)
+val tool : t -> Dbi.Tool.t
+
+val options : t -> Options.t
+val machine : t -> Dbi.Machine.t
+
+(** Aggregate communication profile (byte mode; empty in line mode). *)
+val profile : t -> Profile.t
+
+(** Reuse statistics; meaningful only when [reuse_mode] was set. *)
+val reuse : t -> Reuse.t
+
+(** Line records; [None] unless line mode was configured. *)
+val line_shadow : t -> Line_shadow.t option
+
+(** Event log; [None] unless [collect_events] was set. *)
+val event_log : t -> Event_log.t option
+
+(** {2 Shadow-memory introspection (Fig 6 data)} *)
+
+val shadow_footprint_bytes : t -> int
+val shadow_footprint_peak_bytes : t -> int
+val shadow_evictions : t -> int

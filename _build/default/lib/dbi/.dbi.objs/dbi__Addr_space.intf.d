@@ -1,0 +1,1 @@
+lib/dbi/addr_space.mli:

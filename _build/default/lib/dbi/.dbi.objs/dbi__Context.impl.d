@@ -1,0 +1,1 @@
+lib/dbi/context.ml: Array Hashtbl List String Symbol

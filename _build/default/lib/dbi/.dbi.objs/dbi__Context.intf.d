@@ -1,0 +1,1 @@
+lib/dbi/context.mli: Symbol

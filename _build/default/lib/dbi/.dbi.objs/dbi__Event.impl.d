@@ -1,0 +1,1 @@
+lib/dbi/event.ml: Format

@@ -1,0 +1,1 @@
+lib/dbi/guest.ml: Addr_space Context Event Machine

@@ -1,0 +1,1 @@
+lib/dbi/guest.mli: Event Machine

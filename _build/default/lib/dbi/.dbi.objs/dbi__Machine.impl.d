@@ -1,0 +1,1 @@
+lib/dbi/machine.ml: Addr_space Array Context Event List String Symbol Tool

@@ -1,0 +1,1 @@
+lib/dbi/machine.mli: Addr_space Context Event Symbol Tool

@@ -1,0 +1,1 @@
+lib/dbi/prng.ml: Char Int64 String

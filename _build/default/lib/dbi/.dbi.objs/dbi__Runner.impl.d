@@ -1,0 +1,1 @@
+lib/dbi/runner.ml: List Machine Unix

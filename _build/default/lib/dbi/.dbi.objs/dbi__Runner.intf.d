@@ -1,0 +1,1 @@
+lib/dbi/runner.mli: Machine Tool

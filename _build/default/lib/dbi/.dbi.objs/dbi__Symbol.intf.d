@@ -1,0 +1,1 @@
+lib/dbi/symbol.mli:

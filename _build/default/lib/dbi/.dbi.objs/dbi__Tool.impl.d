@@ -1,0 +1,1 @@
+lib/dbi/tool.ml: Context Event Symbol

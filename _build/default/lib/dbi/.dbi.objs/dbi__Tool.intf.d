@@ -1,0 +1,1 @@
+lib/dbi/tool.mli: Context Event Symbol

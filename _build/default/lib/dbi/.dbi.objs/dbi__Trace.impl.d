@@ -1,0 +1,1 @@
+lib/dbi/trace.ml: Context Event List Machine Printf Runner Seq String Symbol Tool

@@ -1,0 +1,1 @@
+lib/dbi/trace.mli: Machine Tool

@@ -1,0 +1,19 @@
+type op_kind =
+  | Int_op
+  | Fp_op
+
+type access =
+  | Read
+  | Write
+
+type byte_range = int * int
+
+let pp_op_kind ppf = function
+  | Int_op -> Format.pp_print_string ppf "int"
+  | Fp_op -> Format.pp_print_string ppf "fp"
+
+let pp_access ppf = function
+  | Read -> Format.pp_print_string ppf "read"
+  | Write -> Format.pp_print_string ppf "write"
+
+let range_valid (addr, len) = addr >= 0 && len > 0

@@ -1,0 +1,61 @@
+let call m name body =
+  let (_ : Context.id) = Machine.enter m name in
+  match body () with
+  | result ->
+    Machine.leave m;
+    result
+  | exception e ->
+    Machine.leave m;
+    raise e
+
+let read = Machine.read
+let write = Machine.write
+let iop m n = Machine.op m Event.Int_op n
+let flop m n = Machine.op m Event.Fp_op n
+let branch m taken = Machine.branch m ~taken
+let alloc m size = Addr_space.alloc (Machine.space m) size
+let free m addr = Addr_space.free (Machine.space m) addr
+
+let with_buffer m size f =
+  let base = alloc m size in
+  match f base with
+  | result ->
+    free m base;
+    result
+  | exception e ->
+    free m base;
+    raise e
+
+let with_frame m size f =
+  let space = Machine.space m in
+  let base = Addr_space.push_frame space size in
+  match f base with
+  | result ->
+    Addr_space.pop_frame space;
+    result
+  | exception e ->
+    Addr_space.pop_frame space;
+    raise e
+
+let syscall = Machine.syscall
+
+let word = 8
+
+let range_iter f addr len =
+  let rec go addr len = if len > 0 then begin f addr (min word len); go (addr + word) (len - word) end in
+  go addr len
+
+let read_range m addr len = range_iter (Machine.read m) addr len
+let write_range m addr len = range_iter (Machine.write m) addr len
+
+let memcpy m ~dst ~src len =
+  let rec go off len =
+    if len > 0 then begin
+      let n = min word len in
+      Machine.read m (src + off) n;
+      Machine.write m (dst + off) n;
+      Machine.op m Event.Int_op 1;
+      go (off + word) (len - word)
+    end
+  in
+  go 0 len

@@ -1,0 +1,58 @@
+(** Workload-facing API.
+
+    Synthetic workloads are OCaml programs written against this module; each
+    call here injects the corresponding primitive event into the machine.
+    The functions are thin, but they enforce the bracketing discipline
+    ([call] always pairs enter/leave, [with_buffer] always frees) so
+    workloads cannot corrupt machine state even when they raise. *)
+
+(** [call m name body] runs [body ()] inside a guest call to function
+    [name]; the call is left (and observed by tools) even if [body]
+    raises. *)
+val call : Machine.t -> string -> (unit -> 'a) -> 'a
+
+(** [read m addr size] reads [size] bytes at [addr]. *)
+val read : Machine.t -> int -> int -> unit
+
+(** [write m addr size] writes [size] bytes at [addr]. *)
+val write : Machine.t -> int -> int -> unit
+
+(** [iop m n] retires [n] integer operations; [flop m n] floating-point. *)
+val iop : Machine.t -> int -> unit
+
+val flop : Machine.t -> int -> unit
+
+(** [branch m taken] retires a conditional branch. *)
+val branch : Machine.t -> bool -> unit
+
+(** [alloc m size] heap-allocates; [free m addr] releases. *)
+val alloc : Machine.t -> int -> int
+
+val free : Machine.t -> int -> unit
+
+(** [with_buffer m size f] allocates a heap block, passes its base to [f],
+    and frees it afterwards (even on exceptions). *)
+val with_buffer : Machine.t -> int -> (int -> 'a) -> 'a
+
+(** [with_frame m size f] is [with_buffer] on the guest stack: a frame of
+    [size] bytes for call-scoped scratch (locals, spilled arguments). *)
+val with_frame : Machine.t -> int -> (int -> 'a) -> 'a
+
+(** [syscall m name ~reads ~writes] crosses into the (opaque) kernel. *)
+val syscall :
+  Machine.t -> string -> reads:Event.byte_range list -> writes:Event.byte_range list -> unit
+
+(** {2 Bulk helpers}
+
+    Loops over byte ranges in word-sized accesses, the way compiled code
+    would. All sizes are in bytes. *)
+
+(** [read_range m addr len] reads [len] bytes starting at [addr] in 8-byte
+    accesses. *)
+val read_range : Machine.t -> int -> int -> unit
+
+val write_range : Machine.t -> int -> int -> unit
+
+(** [memcpy m ~dst ~src len] reads [src], writes [dst], and retires the
+    move's integer ops. *)
+val memcpy : Machine.t -> dst:int -> src:int -> int -> unit

@@ -1,0 +1,199 @@
+type counters = {
+  int_ops : int;
+  fp_ops : int;
+  reads : int;
+  writes : int;
+  read_bytes : int;
+  written_bytes : int;
+  branches : int;
+  calls : int;
+  syscalls : int;
+}
+
+type t = {
+  symbols : Symbol.t;
+  contexts : Context.t;
+  space : Addr_space.t;
+  call_overhead : int;
+  mutable tools : Tool.t array;
+  mutable stack : (Context.id * Symbol.id) list;
+  mutable cur_ctx : Context.id;
+  mutable call_numbers : int array; (* per context, grown on demand *)
+  mutable now : int;
+  mutable int_ops : int;
+  mutable fp_ops : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable read_bytes : int;
+  mutable written_bytes : int;
+  mutable branches : int;
+  mutable calls : int;
+  mutable syscalls : int;
+  mutable finished : bool;
+}
+
+let create ?(stripped = false) ?(call_overhead = 10) () =
+  if call_overhead < 0 then invalid_arg "Machine.create: negative call overhead";
+  {
+    symbols = Symbol.create ~stripped ();
+    contexts = Context.create ();
+    space = Addr_space.create ();
+    call_overhead;
+    tools = [||];
+    stack = [];
+    cur_ctx = Context.root;
+    call_numbers = Array.make 256 0;
+    now = 0;
+    int_ops = 0;
+    fp_ops = 0;
+    reads = 0;
+    writes = 0;
+    read_bytes = 0;
+    written_bytes = 0;
+    branches = 0;
+    calls = 0;
+    syscalls = 0;
+    finished = false;
+  }
+
+let attach t tool = t.tools <- Array.append t.tools [| tool |]
+let symbols t = t.symbols
+let contexts t = t.contexts
+let space t = t.space
+let now t = t.now
+let current_ctx t = t.cur_ctx
+
+let call_number t ctx =
+  if ctx < Array.length t.call_numbers then t.call_numbers.(ctx) else 0
+
+let counters t =
+  {
+    int_ops = t.int_ops;
+    fp_ops = t.fp_ops;
+    reads = t.reads;
+    writes = t.writes;
+    read_bytes = t.read_bytes;
+    written_bytes = t.written_bytes;
+    branches = t.branches;
+    calls = t.calls;
+    syscalls = t.syscalls;
+  }
+
+let stack_depth t = List.length t.stack
+
+let bump_call t ctx =
+  let len = Array.length t.call_numbers in
+  if ctx >= len then begin
+    let grown = Array.make (max (2 * len) (ctx + 1)) 0 in
+    Array.blit t.call_numbers 0 grown 0 len;
+    t.call_numbers <- grown
+  end;
+  let n = t.call_numbers.(ctx) + 1 in
+  t.call_numbers.(ctx) <- n;
+  n
+
+let op t kind count =
+  if count < 0 then invalid_arg "Machine.op: negative count";
+  if count > 0 then begin
+    t.now <- t.now + count;
+    (match kind with
+    | Event.Int_op -> t.int_ops <- t.int_ops + count
+    | Event.Fp_op -> t.fp_ops <- t.fp_ops + count);
+    let ctx = t.cur_ctx in
+    let tools = t.tools in
+    for i = 0 to Array.length tools - 1 do
+      tools.(i).on_op ~ctx ~kind ~count
+    done
+  end
+
+let enter t name =
+  (* caller-side call sequence: argument setup, save/restore, the call
+     itself — charged to the caller's context like compiled code would *)
+  if t.call_overhead > 0 then op t Event.Int_op t.call_overhead;
+  let fn = Symbol.intern t.symbols name in
+  let ctx = Context.enter t.contexts t.cur_ctx fn in
+  let call = bump_call t ctx in
+  t.stack <- (ctx, fn) :: t.stack;
+  t.cur_ctx <- ctx;
+  t.calls <- t.calls + 1;
+  let tools = t.tools in
+  for i = 0 to Array.length tools - 1 do
+    tools.(i).on_enter ~ctx ~fn ~call
+  done;
+  ctx
+
+let leave t =
+  match t.stack with
+  | [] -> invalid_arg "Machine.leave: empty call stack"
+  | (ctx, fn) :: rest ->
+    let tools = t.tools in
+    for i = 0 to Array.length tools - 1 do
+      tools.(i).on_leave ~ctx ~fn
+    done;
+    t.stack <- rest;
+    t.cur_ctx <- (match rest with [] -> Context.root | (c, _) :: _ -> c)
+
+let read t addr size =
+  if size <= 0 then invalid_arg "Machine.read: size must be positive";
+  t.now <- t.now + 1;
+  t.reads <- t.reads + 1;
+  t.read_bytes <- t.read_bytes + size;
+  let ctx = t.cur_ctx in
+  let tools = t.tools in
+  for i = 0 to Array.length tools - 1 do
+    tools.(i).on_read ~ctx ~addr ~size
+  done
+
+let write t addr size =
+  if size <= 0 then invalid_arg "Machine.write: size must be positive";
+  t.now <- t.now + 1;
+  t.writes <- t.writes + 1;
+  t.written_bytes <- t.written_bytes + size;
+  let ctx = t.cur_ctx in
+  let tools = t.tools in
+  for i = 0 to Array.length tools - 1 do
+    tools.(i).on_write ~ctx ~addr ~size
+  done
+
+let branch t ~taken =
+  t.now <- t.now + 1;
+  t.branches <- t.branches + 1;
+  let ctx = t.cur_ctx in
+  let tools = t.tools in
+  for i = 0 to Array.length tools - 1 do
+    tools.(i).on_branch ~ctx ~taken
+  done
+
+let syscall_prefix = "sys:"
+let is_syscall_fn name = String.length name > 4 && String.sub name 0 4 = syscall_prefix
+
+(* Chunk large kernel buffers so per-access sizes stay word-like; the byte
+   totals are what matters to the tools. *)
+let access_chunk = 8
+
+let syscall t name ~reads ~writes =
+  List.iter
+    (fun r -> if not (Event.range_valid r) then invalid_arg "Machine.syscall: bad range")
+    (reads @ writes);
+  t.syscalls <- t.syscalls + 1;
+  let (_ : Context.id) = enter t (syscall_prefix ^ name) in
+  let touch inject (addr, len) =
+    let rec go addr len =
+      if len > 0 then begin
+        let n = min access_chunk len in
+        inject t addr n;
+        go (addr + n) (len - n)
+      end
+    in
+    go addr len
+  in
+  List.iter (touch read) reads;
+  List.iter (touch write) writes;
+  leave t
+
+let finish t =
+  if t.stack <> [] then invalid_arg "Machine.finish: calls still live";
+  if not t.finished then begin
+    t.finished <- true;
+    Array.iter (fun (tool : Tool.t) -> tool.on_finish ()) t.tools
+  end

@@ -1,0 +1,17 @@
+type result = {
+  machine : Machine.t;
+  elapsed_s : float;
+}
+
+let monotonic_s () = Unix.gettimeofday ()
+
+let run ?(stripped = false) ?call_overhead ?(tools = []) workload =
+  let machine = Machine.create ~stripped ?call_overhead () in
+  List.iter (fun make -> Machine.attach machine (make machine)) tools;
+  let t0 = monotonic_s () in
+  workload machine;
+  Machine.finish machine;
+  let t1 = monotonic_s () in
+  { machine; elapsed_s = t1 -. t0 }
+
+let time_native workload = run ~tools:[] workload

@@ -1,0 +1,24 @@
+(** Drive a guest program under a set of tools.
+
+    The moral equivalent of [valgrind --tool=... ./prog]: build a machine,
+    construct and attach each requested tool, run the workload, signal
+    finish, and report how long the (host) run took so instrumentation
+    overheads can be compared. *)
+
+type result = {
+  machine : Machine.t;
+  elapsed_s : float; (** host wall-clock seconds for the guest run *)
+}
+
+(** [run ~stripped ~tools workload] executes [workload machine] with every
+    tool in [tools] attached (tool constructors receive the machine first,
+    Valgrind-style). [Machine.finish] is called on normal return. *)
+val run :
+  ?stripped:bool ->
+  ?call_overhead:int ->
+  ?tools:(Machine.t -> Tool.t) list ->
+  (Machine.t -> unit) ->
+  result
+
+(** [time_native workload] is [run ~tools:[]], the uninstrumented baseline. *)
+val time_native : (Machine.t -> unit) -> result

@@ -1,0 +1,47 @@
+(** Interned guest function symbols.
+
+    Plays the role of the debug-symbol table Valgrind reads from the binary.
+    Every function a workload calls is interned here once and identified by a
+    dense integer id, so tools can index per-function state with arrays.
+
+    A table can be created in [stripped] mode, mimicking a binary without
+    debugging symbols: functions still get distinct ids but their names
+    degrade to ["???:<id>"], which (as the paper notes) drastically reduces
+    the usefulness of the resulting profiles without breaking the tools. *)
+
+type t
+
+(** Dense function id, starting at 0. *)
+type id = int
+
+(** [create ~stripped ()] returns an empty table. *)
+val create : ?stripped:bool -> unit -> t
+
+(** [intern t name] returns the id for [name], allocating one on first
+    sight. Code addresses are assigned per function from a flat 4 KiB/page
+    layout. *)
+val intern : t -> string -> id
+
+(** [name t id] is the symbol's name, or ["???:<id>"] when the table is
+    stripped.
+
+    @raise Invalid_argument on an unknown id. *)
+val name : t -> id -> string
+
+(** [code_base t id] is the base address of the function's synthetic code
+    page, used by instruction-cache simulation.
+
+    @raise Invalid_argument on an unknown id. *)
+val code_base : t -> id -> int
+
+(** Number of interned symbols. *)
+val count : t -> int
+
+(** [is_stripped t] tells whether the table hides real names. *)
+val is_stripped : t -> bool
+
+(** [iter t f] applies [f id name] to every interned symbol in id order. *)
+val iter : t -> (id -> string -> unit) -> unit
+
+(** Size in bytes of the synthetic code page assigned to each function. *)
+val code_page_size : int

@@ -1,0 +1,22 @@
+type t = {
+  name : string;
+  on_enter : ctx:Context.id -> fn:Symbol.id -> call:int -> unit;
+  on_leave : ctx:Context.id -> fn:Symbol.id -> unit;
+  on_read : ctx:Context.id -> addr:int -> size:int -> unit;
+  on_write : ctx:Context.id -> addr:int -> size:int -> unit;
+  on_op : ctx:Context.id -> kind:Event.op_kind -> count:int -> unit;
+  on_branch : ctx:Context.id -> taken:bool -> unit;
+  on_finish : unit -> unit;
+}
+
+let nop name =
+  {
+    name;
+    on_enter = (fun ~ctx:_ ~fn:_ ~call:_ -> ());
+    on_leave = (fun ~ctx:_ ~fn:_ -> ());
+    on_read = (fun ~ctx:_ ~addr:_ ~size:_ -> ());
+    on_write = (fun ~ctx:_ ~addr:_ ~size:_ -> ());
+    on_op = (fun ~ctx:_ ~kind:_ ~count:_ -> ());
+    on_branch = (fun ~ctx:_ ~taken:_ -> ());
+    on_finish = (fun () -> ());
+  }

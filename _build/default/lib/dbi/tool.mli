@@ -1,0 +1,36 @@
+(** Instrumentation-tool plugin interface.
+
+    The OCaml analogue of a Valgrind tool: a record of callbacks the machine
+    invokes for every primitive guest event. A tool is constructed against a
+    specific {!Machine.t} (so its callbacks can close over the machine's
+    symbol and context tables) and then attached with {!Machine.attach}.
+
+    System calls do not get a dedicated callback: the machine models each
+    one as an opaque pseudo-function (named ["sys:<name>"]) that is entered,
+    reads its input ranges, writes its output ranges and leaves — exactly
+    the limited visibility the paper describes ("capture the names of system
+    calls and capture the input and output bytes but not see the detailed
+    memory and communication used inside"). *)
+
+type t = {
+  name : string;
+  on_enter : ctx:Context.id -> fn:Symbol.id -> call:int -> unit;
+      (** Function entry. [ctx] is the callee's context; [call] is the
+          1-based sequence number of this call *of this context*. *)
+  on_leave : ctx:Context.id -> fn:Symbol.id -> unit;
+      (** Function exit, with the callee's own context (before popping). *)
+  on_read : ctx:Context.id -> addr:int -> size:int -> unit;
+      (** Data read of [size] bytes at [addr] by code running in [ctx]. *)
+  on_write : ctx:Context.id -> addr:int -> size:int -> unit;
+      (** Data write, same conventions as [on_read]. *)
+  on_op : ctx:Context.id -> kind:Event.op_kind -> count:int -> unit;
+      (** [count] computational operations of [kind] retired in [ctx]. *)
+  on_branch : ctx:Context.id -> taken:bool -> unit;
+      (** A conditional branch in [ctx]. *)
+  on_finish : unit -> unit;
+      (** End of the guest program; flush any pending state. *)
+}
+
+(** [nop name] is a tool that ignores every event — the baseline for
+    instrumentation-overhead measurements. *)
+val nop : string -> t

@@ -1,0 +1,73 @@
+type run = {
+  workload : Workloads.Workload.t;
+  scale : Workloads.Scale.t;
+  machine : Dbi.Machine.t;
+  sigil : Sigil.Tool.t option;
+  callgrind : Callgrind.Tool.t option;
+  elapsed_s : float;
+}
+
+let run_workload ?(options = Sigil.Options.default) ?(with_sigil = true) ?(with_callgrind = false)
+    ?(stripped = false) (workload : Workloads.Workload.t) scale =
+  let sigil_tool = ref None in
+  let callgrind_tool = ref None in
+  let tools =
+    (if with_sigil then
+       [
+         (fun m ->
+           let t = Sigil.Tool.create ~options m in
+           sigil_tool := Some t;
+           Sigil.Tool.tool t);
+       ]
+     else [])
+    @
+    if with_callgrind then
+      [
+        (fun m ->
+          let t = Callgrind.Tool.create m in
+          callgrind_tool := Some t;
+          Callgrind.Tool.tool t);
+      ]
+    else []
+  in
+  let r = Dbi.Runner.run ~stripped ~tools (fun m -> workload.Workloads.Workload.run m scale) in
+  {
+    workload;
+    scale;
+    machine = r.Dbi.Runner.machine;
+    sigil = !sigil_tool;
+    callgrind = !callgrind_tool;
+    elapsed_s = r.Dbi.Runner.elapsed_s;
+  }
+
+let run_named ?options ?with_sigil ?with_callgrind name scale =
+  match Workloads.Suite.find name with
+  | Error _ as e -> e
+  | Ok w -> Ok (run_workload ?options ?with_sigil ?with_callgrind w scale)
+
+let time_native (w : Workloads.Workload.t) scale =
+  (Dbi.Runner.time_native (fun m -> w.Workloads.Workload.run m scale)).Dbi.Runner.elapsed_s
+
+let sigil run =
+  match run.sigil with
+  | Some t -> t
+  | None -> invalid_arg "Driver.sigil: Sigil was not attached to this run"
+
+let callgrind run =
+  match run.callgrind with
+  | Some t -> t
+  | None -> invalid_arg "Driver.callgrind: Callgrind was not attached to this run"
+
+let cdfg run = Analysis.Cdfg.build ?callgrind:run.callgrind (sigil run)
+
+let critpath run =
+  match Sigil.Tool.event_log (sigil run) with
+  | Some log -> Analysis.Critpath.analyze log
+  | None -> invalid_arg "Driver.critpath: run without Options.collect_events"
+
+let fn_name run ctx =
+  if ctx = Dbi.Context.root then "<root>"
+  else
+    Dbi.Symbol.name
+      (Dbi.Machine.symbols run.machine)
+      (Dbi.Context.fn (Dbi.Machine.contexts run.machine) ctx)

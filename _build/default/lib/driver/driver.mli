@@ -1,0 +1,53 @@
+(** Convenience runner used by the CLI tools, examples and benchmarks:
+    runs a named workload under the requested tool combination and hands
+    back the finished tool states. *)
+
+type run = {
+  workload : Workloads.Workload.t;
+  scale : Workloads.Scale.t;
+  machine : Dbi.Machine.t;
+  sigil : Sigil.Tool.t option;
+  callgrind : Callgrind.Tool.t option;
+  elapsed_s : float; (** host seconds for the instrumented run *)
+}
+
+(** [run_workload ?options ?with_sigil ?with_callgrind ?stripped w scale]
+    executes one guest run with the selected tools attached. *)
+val run_workload :
+  ?options:Sigil.Options.t ->
+  ?with_sigil:bool ->
+  ?with_callgrind:bool ->
+  ?stripped:bool ->
+  Workloads.Workload.t ->
+  Workloads.Scale.t ->
+  run
+
+(** [run_named ?options ?with_sigil ?with_callgrind name scale] resolves the
+    workload by name first. Returns [Error _] for unknown names. *)
+val run_named :
+  ?options:Sigil.Options.t ->
+  ?with_sigil:bool ->
+  ?with_callgrind:bool ->
+  string ->
+  Workloads.Scale.t ->
+  (run, string) result
+
+(** [time_native w scale] is the uninstrumented baseline run time. *)
+val time_native : Workloads.Workload.t -> Workloads.Scale.t -> float
+
+(** [sigil run] / [callgrind run] extract tool state, failing loudly when
+    the tool was not attached. *)
+val sigil : run -> Sigil.Tool.t
+
+val callgrind : run -> Callgrind.Tool.t
+
+(** [cdfg run] builds the control data flow graph from a run that had both
+    tools attached (Callgrind optional). *)
+val cdfg : run -> Analysis.Cdfg.t
+
+(** [critpath run] analyzes the event log (requires
+    [Options.collect_events]). *)
+val critpath : run -> Analysis.Critpath.t
+
+(** [fn_name run ctx] renders a context's function name. *)
+val fn_name : run -> Dbi.Context.id -> string

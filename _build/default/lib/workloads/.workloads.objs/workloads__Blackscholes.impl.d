@@ -1,0 +1,1 @@
+lib/workloads/blackscholes.ml: Dbi Guest Prng Scale Stdfns Workload

@@ -1,0 +1,1 @@
+lib/workloads/bodytrack.ml: Array Dbi Guest Prng Scale Stdfns Workload

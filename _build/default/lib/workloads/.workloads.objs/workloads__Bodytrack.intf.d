@@ -1,0 +1,1 @@
+lib/workloads/bodytrack.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/canneal.ml: Dbi Guest Prng Scale Stdfns Workload

@@ -1,0 +1,1 @@
+lib/workloads/dedup.ml: Dbi Guest List Prng Scale Stdfns Workload

@@ -1,0 +1,1 @@
+lib/workloads/facesim.ml: Dbi Guest Scale Stdfns Workload

@@ -1,0 +1,1 @@
+lib/workloads/ferret.ml: Dbi Guest Scale Stdfns Workload

@@ -1,0 +1,1 @@
+lib/workloads/ferret.mli: Workload

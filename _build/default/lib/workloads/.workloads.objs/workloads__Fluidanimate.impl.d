@@ -1,0 +1,1 @@
+lib/workloads/fluidanimate.ml: Dbi Guest Scale Stdfns Workload

@@ -1,0 +1,1 @@
+lib/workloads/freqmine.ml: Dbi Guest Prng Scale Stdfns Workload

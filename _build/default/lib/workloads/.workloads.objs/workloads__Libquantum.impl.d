@@ -1,0 +1,1 @@
+lib/workloads/libquantum.ml: Dbi Guest Prng Scale Stdfns Workload

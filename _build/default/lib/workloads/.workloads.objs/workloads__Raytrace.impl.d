@@ -1,0 +1,1 @@
+lib/workloads/raytrace.ml: Dbi Guest Prng Scale Stdfns Workload

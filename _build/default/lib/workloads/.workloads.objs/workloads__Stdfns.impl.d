@@ -1,0 +1,1 @@
+lib/workloads/stdfns.ml: Addr_space Dbi Guest Prng

@@ -1,0 +1,1 @@
+lib/workloads/stdfns.mli: Dbi Machine Prng

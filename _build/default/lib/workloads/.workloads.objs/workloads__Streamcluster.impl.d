@@ -1,0 +1,1 @@
+lib/workloads/streamcluster.ml: Dbi Guest Prng Scale Stdfns Workload

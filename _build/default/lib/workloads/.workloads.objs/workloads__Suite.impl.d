@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Blackscholes Bodytrack Canneal Dedup Facesim Ferret Fluidanimate Freqmine Libquantum List Printf Raytrace Streamcluster String Swaptions Vips Workload X264

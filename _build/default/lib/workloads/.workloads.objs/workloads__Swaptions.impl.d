@@ -1,0 +1,1 @@
+lib/workloads/swaptions.ml: Dbi Guest Scale Stdfns Workload

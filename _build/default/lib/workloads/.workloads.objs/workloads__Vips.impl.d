@@ -1,0 +1,1 @@
+lib/workloads/vips.ml: Array Dbi Guest Scale Stdfns Workload

@@ -1,0 +1,1 @@
+lib/workloads/vips.mli: Workload

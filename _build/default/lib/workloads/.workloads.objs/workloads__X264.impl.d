@@ -1,0 +1,1 @@
+lib/workloads/x264.ml: Dbi Guest Prng Scale Stdfns Workload

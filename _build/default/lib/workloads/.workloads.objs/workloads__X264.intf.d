@@ -1,0 +1,1 @@
+lib/workloads/x264.mli: Workload

@@ -1,0 +1,10 @@
+(** Synthetic blackscholes (PARSEC): option-pricing kernel.
+
+    Streaming structure — parse an options file with [strtof], price every
+    option once through [BlkSchlsEqEuroNoDiv] / [CNDF] and the libm entry
+    points of Table II, write results out. Almost all intermediate data is
+    produced and consumed exactly once (Fig 8's near-total zero-reuse bar),
+    and the hot functions are compute-dense with tiny working sets
+    (breakeven speedups close to 1). *)
+
+val workload : Workload.t

@@ -1,0 +1,125 @@
+open Dbi
+
+let cameras = 4
+
+(* FlexImage::Set fills an image from a 64-byte pattern it builds locally;
+   the writes are dead (the camera load overwrites them), so the merged
+   box communicates almost nothing. *)
+let flex_image_set m ~image ~bytes =
+  Guest.call m "FlexImage::Set" (fun () ->
+      Guest.with_frame m 64 (fun pattern ->
+          Guest.iop m 16;
+          Guest.write_range m pattern 64;
+          let rec fill off =
+            if off < bytes then begin
+              Stdfns.memcpy m ~dst:(image + off) ~src:pattern ~len:(min 64 (bytes - off));
+              fill (off + 64)
+            end
+          in
+          fill 0))
+
+let load_camera m ~image ~bytes =
+  Guest.call m "load_camera_frame" (fun () ->
+      Guest.syscall m "read" ~reads:[] ~writes:[ (image, bytes) ];
+      Guest.iop m (bytes / 16))
+
+let dmatrix_ctor m ~rows ~cols =
+  Guest.call m "DMatrix" (fun () ->
+      let data = Stdfns.operator_new m (rows * cols * 8) in
+      Guest.iop m 10;
+      Guest.write_range m (data - 16) 16;
+      data)
+
+(* Silhouette error over one image against the body model: fp-dense scan
+   with a small model working set re-read per row (bounded re-use). *)
+let image_error_inside m ~image ~bytes ~model ~model_bytes ~err =
+  Guest.call m "ImageMeasurements::ImageErrorInside" (fun () ->
+      let row = 128 in
+      let rec scan off =
+        if off < bytes then begin
+          Guest.read_range m (image + off) (min row (bytes - off));
+          Guest.read_range m model (min 64 model_bytes);
+          Guest.flop m (row * 4);
+          scan (off + row)
+        end
+      in
+      scan 0;
+      Guest.flop m 30;
+      Guest.write m err 8)
+
+let edge_error m ~image ~bytes ~err =
+  Guest.call m "ImageMeasurements::EdgeError" (fun () ->
+      let rec scan off =
+        if off < bytes then begin
+          Guest.read_range m (image + off) (min 64 (bytes - off));
+          Guest.flop m 40;
+          scan (off + 64)
+        end
+      in
+      scan 0;
+      Guest.write m err 8)
+
+let update_pose m ~model ~model_bytes ~errs rng =
+  Guest.call m "TrackingModel::UpdatePose" (fun () ->
+      Guest.read_range m errs (cameras * 8);
+      Guest.with_frame m 32 (fun fr ->
+          Guest.flop m 24;
+          Guest.write m fr 8;
+          Stdfns.ieee754_log m ~arg:fr ~res:(fr + 8);
+          Guest.read m (fr + 8) 8);
+      let touched = min model_bytes (64 * (1 + Prng.int rng 4)) in
+      Guest.read_range m model touched;
+      Guest.flop m (touched / 4);
+      Guest.write_range m model touched)
+
+let run m scale =
+  let image_bytes = 64 * 64 in
+  let frames = Scale.apply scale 6 in
+  let particles = 8 in
+  let rng = Prng.of_string ("bodytrack:" ^ Scale.name scale) in
+  Guest.call m "main" (fun () ->
+      let model_bytes = 2048 in
+      let model = dmatrix_ctor m ~rows:16 ~cols:16 in
+      let weights = Stdfns.std_vector_ctor m ~elems:particles ~elem_size:8 in
+      let images = Array.init cameras (fun _ -> Stdfns.operator_new m image_bytes) in
+      let errs = Stdfns.operator_new m (cameras * 8) in
+      Guest.call m "TrackingModel::Initialize" (fun () ->
+          Guest.write_range m model model_bytes;
+          Guest.iop m 200);
+      for _frame = 1 to frames do
+        Array.iter
+          (fun image ->
+            flex_image_set m ~image ~bytes:image_bytes;
+            load_camera m ~image ~bytes:image_bytes)
+          images;
+        Guest.call m "ParticleFilter::Update" (fun () ->
+            for _p = 1 to particles do
+              Guest.iop m 8;
+              Array.iteri
+                (fun c image ->
+                  image_error_inside m ~image ~bytes:image_bytes ~model ~model_bytes
+                    ~err:(errs + (c * 8)))
+                images;
+              update_pose m ~model ~model_bytes ~errs rng;
+              Guest.write m (weights + (Prng.int rng particles * 8)) 8
+            done);
+        Guest.call m "ImageMeasurements::ImageError" (fun () ->
+            Array.iteri
+              (fun c image ->
+                Guest.iop m 4;
+                image_error_inside m ~image ~bytes:image_bytes ~model ~model_bytes
+                  ~err:(errs + (c * 8));
+                edge_error m ~image ~bytes:image_bytes ~err:(errs + (c * 8)))
+              images)
+      done;
+      Stdfns.write_file m ~src:model ~len:256;
+      Array.iter (fun image -> Stdfns.free m image) images;
+      Stdfns.free m errs)
+
+let workload =
+  {
+    Workload.name = "bodytrack";
+    suite = Workload.Parsec;
+    description = "Multi-camera body tracking; image scans with a shared model";
+    run;
+  }

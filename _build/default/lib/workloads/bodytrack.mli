@@ -1,0 +1,11 @@
+(** Synthetic bodytrack (PARSEC): multi-camera body tracking.
+
+    Per frame, each camera image is initialized by [FlexImage::Set] (whose
+    fill pattern lives inside its own sub-tree, so the merged box has
+    almost no external communication — the paper's breakeven 1.000
+    example), overwritten by the camera load, then scored by
+    [ImageMeasurements::ImageErrorInside] from two different calling
+    contexts. [std::vector] and [DMatrix] constructors provide the weak
+    candidates of Table III. *)
+
+val workload : Workload.t

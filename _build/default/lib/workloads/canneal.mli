@@ -1,0 +1,10 @@
+(** Synthetic canneal (PARSEC): simulated-annealing netlist placement.
+
+    The annealing loop streams over the whole netlist with few operations
+    per byte, so its mid-level functions can never break even and the
+    selected candidates are small leaf utilities ([__mul], [memchr],
+    [netlist::swap_locations], [memmove], [std::string::compare]) — hence
+    the low trimmed-tree coverage the paper reports for canneal (Fig 7)
+    and its Table II/III rows. *)
+
+val workload : Workload.t

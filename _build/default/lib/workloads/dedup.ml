@@ -1,0 +1,102 @@
+open Dbi
+
+let avg_chunk = 1024
+
+(* The fingerprint window rolls across chunk boundaries: each call reads
+   and updates the rabin state left by the previous call, which keeps the
+   anchoring pass on the program's dependence spine. *)
+let rabin_segment m ~buf ~len ~rstate rng =
+  Guest.call m "rabin_segget" (fun () ->
+      Guest.read_range m rstate 16;
+      let rec scan off =
+        if off < len then begin
+          Guest.read m (buf + off) (min 8 (len - off));
+          Guest.iop m 6;
+          scan (off + 8)
+        end
+      in
+      scan 0;
+      Guest.write_range m rstate 16;
+      (* anchor position: average chunk size with jitter *)
+      min len (avg_chunk - 128 + Prng.int rng 256))
+
+(* Each chunk hashes independently: SHA1_Init resets the state, so chunks
+   impose no cross-call ordering through the digest. *)
+let chunk_process m ~chunk ~len ~digest =
+  Guest.call m "ChunkProcess" (fun () ->
+      Guest.iop m 20;
+      Guest.write_range m digest 20;
+      Stdfns.sha1_block_data_order m ~buf:chunk ~len ~state:digest)
+
+let fragment_refine m ~chunk ~len ~digest =
+  Guest.call m "FragmentRefine" (fun () ->
+      Guest.iop m 30;
+      Guest.write_range m digest 20;
+      Stdfns.sha1_block_data_order m ~buf:chunk ~len ~state:digest;
+      Guest.read_range m digest 20)
+
+let compress m ~chunk ~len ~out =
+  Guest.call m "Compress" (fun () ->
+      Guest.iop m 12;
+      Stdfns.tr_flush_block m ~src:chunk ~len ~dst:out)
+
+let run m scale =
+  let stream_bytes = Scale.apply scale (448 * 1024) in
+  let rng = Prng.of_string ("dedup:" ^ Scale.name scale) in
+  Guest.call m "main" (fun () ->
+      let table_entries = 4096 in
+      let table = Stdfns.operator_new m (table_entries * 16) in
+      let digest = Stdfns.operator_new m 32 in
+      let rstate = Stdfns.operator_new m 16 in
+      let checksum = Stdfns.operator_new m 16 in
+      Guest.write_range m rstate 16;
+      Guest.call m "Fragment" (fun () ->
+          let remaining = ref stream_bytes in
+          let store = ref [] in
+          while !remaining > 0 do
+            let slab = min (16 * 1024) !remaining in
+            (* every slab is a fresh allocation: the footprint grows with
+               the stream, unlike the other benchmarks *)
+            let buf = Stdfns.operator_new m slab in
+            Guest.syscall m "read" ~reads:[] ~writes:[ (buf, slab) ];
+            store := buf :: !store;
+            let off = ref 0 in
+            while !off < slab do
+              let len = min (slab - !off) (rabin_segment m ~buf:(buf + !off) ~len:(min 2048 (slab - !off)) ~rstate rng) in
+              let len = max 256 len in
+              let len = min len (slab - !off) in
+              let chunk = buf + !off in
+              fragment_refine m ~chunk ~len ~digest;
+              let slot = Stdfns.hashtable_search m ~buckets:table ~key:digest ~probes:4 in
+              let duplicate = Prng.int rng 100 < 25 in
+              if duplicate then begin
+                Guest.read m slot 8;
+                Guest.iop m 6
+              end
+              else begin
+                Guest.write m slot 8;
+                chunk_process m ~chunk ~len ~digest;
+                Guest.with_buffer m (len + 64) (fun out ->
+                    let clen = compress m ~chunk ~len ~out in
+                    Stdfns.adler32 m ~buf:out ~len:(max 8 clen) ~res:checksum;
+                    Stdfns.write_file m ~src:out ~len:(max 8 clen))
+              end;
+              off := !off + len
+            done;
+            remaining := !remaining - slab
+          done;
+          (* the dedup store stays live until the end of the run *)
+          Guest.call m "free_store" (fun () -> List.iter (fun buf -> Stdfns.free m buf) !store));
+      Stdfns.write_file m ~src:digest ~len:20;
+      Stdfns.free m table;
+      Stdfns.free m digest;
+      Stdfns.free m rstate;
+      Stdfns.free m checksum)
+
+let workload =
+  {
+    Workload.name = "dedup";
+    suite = Workload.Parsec;
+    description = "Deduplicating compression pipeline; largest memory footprint of the suite";
+    run;
+  }

@@ -1,0 +1,10 @@
+(** Synthetic dedup (PARSEC): deduplicating compression pipeline.
+
+    Stream → rabin anchoring → SHA-1 fingerprint (two calling contexts,
+    the two [sha1_block_data_order] rows of Table II) → hashtable lookup →
+    deflate ([_tr_flush_block]) → [write_file] with an [adler32] checksum.
+    Touches the largest address range of the suite (every chunk is a fresh
+    allocation that stays live in the dedup store), which is why the paper
+    needs Sigil's FIFO memory limiter only for this benchmark. *)
+
+val workload : Workload.t

@@ -1,0 +1,66 @@
+open Dbi
+
+let vertex_bytes = 48 (* position + velocity *)
+
+let update_state m ~vertices ~n =
+  Guest.call m "Update_Position_Based_State" (fun () ->
+      for i = 0 to n - 1 do
+        let v = vertices + (i * vertex_bytes) in
+        Guest.read_range m v vertex_bytes;
+        Guest.flop m 36;
+        Guest.write_range m v 24
+      done)
+
+let add_forces m ~vertices ~n ~forces =
+  Guest.call m "Add_Velocity_Independent_Forces" (fun () ->
+      for i = 0 to n - 1 do
+        let v = vertices + (i * vertex_bytes) in
+        (* each tetrahedron couples a small neighborhood *)
+        Guest.read_range m v 24;
+        Guest.read_range m (vertices + ((i + 7) mod n * vertex_bytes)) 24;
+        Guest.flop m 52;
+        Guest.write_range m (forces + (i * 24)) 24
+      done)
+
+let newton_step m ~vertices ~n ~forces =
+  Guest.call m "One_Newton_Raphson_Step" (fun () ->
+      Guest.with_frame m 64 (fun fr ->
+          for i = 0 to n - 1 do
+            Guest.read_range m (forces + (i * 24)) 24;
+            Guest.read_range m (vertices + (i * vertex_bytes) + 24) 24;
+            Guest.flop m 30;
+            Guest.write_range m (vertices + (i * vertex_bytes) + 24) 24;
+            if i land 127 = 0 then begin
+              Guest.write m fr 8;
+              Stdfns.ieee754_sqrt m ~arg:fr ~res:(fr + 8);
+              Guest.read m (fr + 8) 8
+            end
+          done))
+
+let run m scale =
+  let n = Scale.apply scale 2200 in
+  let frames = 3 in
+  Guest.call m "main" (fun () ->
+      let vertices = Stdfns.operator_new m (n * vertex_bytes) in
+      let forces = Stdfns.operator_new m (n * 24) in
+      Guest.call m "Initialize_Mesh" (fun () ->
+          Guest.syscall m "read" ~reads:[] ~writes:[ (vertices, n * vertex_bytes) ];
+          Guest.iop m (n * 2));
+      for _frame = 1 to frames do
+        Guest.call m "Advance_One_Time_Step" (fun () ->
+            update_state m ~vertices ~n;
+            add_forces m ~vertices ~n ~forces;
+            newton_step m ~vertices ~n ~forces;
+            newton_step m ~vertices ~n ~forces)
+      done;
+      Stdfns.write_file m ~src:vertices ~len:4096;
+      Stdfns.free m vertices;
+      Stdfns.free m forces)
+
+let workload =
+  {
+    Workload.name = "facesim";
+    suite = Workload.Parsec;
+    description = "Face-mesh physics; large arrays re-read every Newton iteration";
+    run;
+  }

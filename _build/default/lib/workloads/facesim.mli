@@ -1,0 +1,9 @@
+(** Synthetic facesim (PARSEC): deformable face-mesh physics.
+
+    Newton–Raphson iterations over large vertex/tetrahedron arrays; the
+    same state is re-read every iteration from within the same call, so
+    re-use is high and the working set is big (the paper singles facesim
+    out, with raytrace, as memory-intensive but with constant overhead
+    over native). *)
+
+val workload : Workload.t

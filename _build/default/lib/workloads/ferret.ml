@@ -1,0 +1,101 @@
+open Dbi
+
+let image_bytes = 3072
+let feature_bytes = 768
+
+let segment m ~image ~mask =
+  Guest.call m "image_segment" (fun () ->
+      let rec scan off =
+        if off < image_bytes then begin
+          Guest.read_range m (image + off) (min 64 (image_bytes - off));
+          Guest.iop m 5;
+          Guest.write_range m (mask + (off / 4)) (min 16 ((image_bytes - off) / 4 + 1));
+          scan (off + 64)
+        end
+      in
+      scan 0)
+
+let extract m ~image ~mask ~features =
+  Guest.call m "feature_extract" (fun () ->
+      let rec scan off =
+        if off < image_bytes then begin
+          Guest.read_range m (image + off) (min 64 (image_bytes - off));
+          Guest.read_range m (mask + (off / 4)) 16;
+          Guest.flop m 7;
+          scan (off + 64)
+        end
+      in
+      scan 0;
+      Guest.write_range m features feature_bytes)
+
+let lsh_query m ~index ~features ~cand =
+  Guest.call m "LSH_query" (fun () ->
+      Guest.read_range m features feature_bytes;
+      Guest.iop m (feature_bytes / 4);
+      for probe = 0 to 7 do
+        ignore
+          (Stdfns.hashtable_search m ~buckets:(index + (probe * 1024)) ~key:features ~probes:4)
+      done;
+      Guest.write_range m cand 256)
+
+let emd_rank m ~features ~cand ~db ~result =
+  Guest.call m "emd" (fun () ->
+      Guest.read_range m cand 256;
+      for c = 0 to 7 do
+        let entry = db + (c * feature_bytes) in
+        Guest.read_range m entry feature_bytes;
+        Guest.read_range m features feature_bytes;
+        Guest.flop m (feature_bytes / 8)
+      done;
+      Guest.write_range m result 64)
+
+let run m scale =
+  let queries = Scale.apply scale 48 in
+  let db_entries = 64 in
+  Guest.call m "main" (fun () ->
+      let image = Stdfns.operator_new m image_bytes in
+      let mask = Stdfns.operator_new m (image_bytes / 4 + 32) in
+      let features = Stdfns.operator_new m feature_bytes in
+      let cand = Stdfns.operator_new m 256 in
+      let result = Stdfns.operator_new m 64 in
+      let index = Stdfns.operator_new m (8 * 1024 + 64) in
+      let db = Stdfns.operator_new m (db_entries * feature_bytes) in
+      Guest.call m "load_database" (fun () ->
+          Guest.syscall m "read" ~reads:[] ~writes:[ (db, db_entries * feature_bytes) ];
+          Guest.write_range m index (8 * 1024);
+          Guest.iop m 100);
+      Guest.call m "pipeline" (fun () ->
+          for _q = 1 to queries do
+            Guest.iop m 12;
+            Guest.syscall m "read" ~reads:[] ~writes:[ (image, image_bytes) ];
+            (* inline image decode: hot driver code, never a candidate *)
+            let rec decode off =
+              if off < image_bytes then begin
+                Guest.read_range m (image + off) 64;
+                Guest.iop m 40;
+                Guest.write_range m (image + off) 64;
+                decode (off + 64)
+              end
+            in
+            decode 0;
+            segment m ~image ~mask;
+            extract m ~image ~mask ~features;
+            lsh_query m ~index ~features ~cand;
+            emd_rank m ~features ~cand ~db ~result;
+            (* inline result re-ranking between stages *)
+            Guest.read_range m result 64;
+            Guest.iop m 160;
+            Guest.write_range m result 64;
+            Stdfns.write_file m ~src:result ~len:64
+          done);
+      Stdfns.free m image;
+      Stdfns.free m features;
+      Stdfns.free m db)
+
+let workload =
+  {
+    Workload.name = "ferret";
+    suite = Workload.Parsec;
+    description = "Image-similarity pipeline; feature vectors flow between flat stages";
+    run;
+  }

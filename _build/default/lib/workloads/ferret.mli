@@ -1,0 +1,9 @@
+(** Synthetic ferret (PARSEC): content-based image similarity search.
+
+    A four-stage pipeline (segment, extract, LSH index query, EMD ranking)
+    where every stage hands large feature vectors to the next with only
+    moderate computation per byte — a flat profile with
+    communication-bound stages, giving the low candidate coverage the
+    paper reports for ferret in Fig 7. *)
+
+val workload : Workload.t

@@ -1,0 +1,80 @@
+open Dbi
+
+let particle_bytes = 64
+
+let rebuild_grid m ~particles ~n ~grid =
+  Guest.call m "RebuildGrid" (fun () ->
+      for i = 0 to n - 1 do
+        Guest.read_range m (particles + (i * particle_bytes)) 16;
+        Guest.iop m 4;
+        Guest.write m (grid + (i mod 512 * 8)) 8
+      done)
+
+let compute_densities m ~particles ~n =
+  Guest.call m "ComputeDensities" (fun () ->
+      for i = 0 to n - 1 do
+        Guest.read_range m (particles + (i * particle_bytes)) 24;
+        Guest.flop m 10;
+        Guest.write m (particles + (i * particle_bytes) + 56) 8
+      done)
+
+(* The hot kernel: per particle, read a neighborhood and integrate pair
+   forces. ~90% of the program's operations land here. *)
+let compute_forces m ~particles ~n =
+  Guest.call m "ComputeForces" (fun () ->
+      for i = 0 to n - 1 do
+        let p = particles + (i * particle_bytes) in
+        Guest.read_range m p particle_bytes;
+        for k = 1 to 3 do
+          Guest.read_range m (particles + ((i + k) mod n * particle_bytes)) 32;
+          Guest.flop m 60
+        done;
+        Guest.flop m 40;
+        Guest.write_range m (p + 24) 32
+      done)
+
+let process_collisions m ~particles ~n =
+  Guest.call m "ProcessCollisions" (fun () ->
+      for i = 0 to n - 1 do
+        Guest.read_range m (particles + (i * particle_bytes) + 24) 16;
+        Guest.iop m 6;
+        Guest.write m (particles + (i * particle_bytes) + 24) 8
+      done)
+
+let advance_particles m ~particles ~n =
+  Guest.call m "AdvanceParticles" (fun () ->
+      for i = 0 to n - 1 do
+        let p = particles + (i * particle_bytes) in
+        Guest.read_range m p 48;
+        Guest.flop m 12;
+        Guest.write_range m p 24
+      done)
+
+let run m scale =
+  let n = Scale.apply scale 450 in
+  let steps = 5 in
+  Guest.call m "main" (fun () ->
+      let particles = Stdfns.operator_new m (n * particle_bytes) in
+      let grid = Stdfns.operator_new m (512 * 8) in
+      Guest.call m "InitSim" (fun () ->
+          Guest.syscall m "read" ~reads:[] ~writes:[ (particles, n * particle_bytes) ];
+          Guest.iop m (n * 2));
+      for _step = 1 to steps do
+        Guest.call m "AdvanceFrame" (fun () ->
+            rebuild_grid m ~particles ~n ~grid;
+            compute_densities m ~particles ~n;
+            compute_forces m ~particles ~n;
+            process_collisions m ~particles ~n;
+            advance_particles m ~particles ~n)
+      done;
+      Stdfns.write_file m ~src:particles ~len:4096;
+      Stdfns.free m particles;
+      Stdfns.free m grid)
+
+let workload =
+  {
+    Workload.name = "fluidanimate";
+    suite = Workload.Parsec;
+    description = "SPH fluid simulation; ComputeForces dominates and serializes timesteps";
+    run;
+  }

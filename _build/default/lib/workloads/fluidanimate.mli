@@ -1,0 +1,8 @@
+(** Synthetic fluidanimate (PARSEC): SPH fluid simulation.
+
+    [ComputeForces] does ~90% of the work and every timestep consumes the
+    particle state the previous timestep produced, so the critical path is
+    essentially the serial chain of [ComputeForces] calls — the paper's
+    single-function critical path and the low parallelism bar of Fig 13. *)
+
+val workload : Workload.t

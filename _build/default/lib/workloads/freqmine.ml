@@ -1,0 +1,67 @@
+open Dbi
+
+let node_bytes = 32
+
+let insert_transaction m ~tree ~nodes ~header ~txn ~items rng =
+  Guest.call m "FPtree::insert" (fun () ->
+      Guest.read_range m txn (items * 4);
+      let cursor = ref tree in
+      for _i = 1 to items do
+        ignore (Stdfns.hashtable_search m ~buckets:header ~key:!cursor ~probes:2);
+        let next = nodes + (Prng.int rng 2048 * node_bytes) in
+        Guest.read_range m !cursor 16;
+        Guest.iop m 10;
+        Guest.write_range m next 16;
+        Guest.write m (!cursor + 16) 8;
+        cursor := next
+      done)
+
+let rec fp_growth m ~nodes ~header ~depth ~out rng =
+  Guest.call m "FP_growth" (fun () ->
+      (* walk a header chain, re-reading shared tree nodes *)
+      for _link = 1 to 24 do
+        let node = nodes + (Prng.int rng 2048 * node_bytes) in
+        Guest.read_range m node node_bytes;
+        Guest.read_range m header 32;
+        Guest.iop m 18
+      done;
+      Guest.write_range m out 32;
+      if depth > 0 then begin
+        Guest.iop m 12;
+        fp_growth m ~nodes ~header ~depth:(depth - 1) ~out rng;
+        fp_growth m ~nodes ~header ~depth:(depth - 1) ~out rng
+      end)
+
+let run m scale =
+  let transactions = Scale.apply scale 220 in
+  let rng = Prng.of_string ("freqmine:" ^ Scale.name scale) in
+  Guest.call m "main" (fun () ->
+      let nodes = Stdfns.operator_new m (2048 * node_bytes) in
+      let header = Stdfns.operator_new m 1024 in
+      let txn = Stdfns.operator_new m 256 in
+      let out = Stdfns.operator_new m 64 in
+      let tree = nodes in
+      Guest.call m "scan1_DB" (fun () ->
+          for _t = 1 to transactions do
+            Guest.syscall m "read" ~reads:[] ~writes:[ (txn, 64) ];
+            Guest.read_range m txn 64;
+            Guest.iop m 40;
+            Guest.write_range m header 64
+          done);
+      Guest.call m "scan2_DB" (fun () ->
+          for _t = 1 to transactions do
+            Guest.syscall m "read" ~reads:[] ~writes:[ (txn, 64) ];
+            insert_transaction m ~tree ~nodes ~header ~txn ~items:(4 + Prng.int rng 8) rng
+          done);
+      fp_growth m ~nodes ~header ~depth:(7 + (Scale.factor scale / 8)) ~out rng;
+      Stdfns.write_file m ~src:out ~len:32;
+      Stdfns.free m nodes;
+      Stdfns.free m txn)
+
+let workload =
+  {
+    Workload.name = "freqmine";
+    suite = Workload.Parsec;
+    description = "FP-growth mining; pointer-linked tree re-read during recursive mining";
+    run;
+  }

@@ -1,0 +1,7 @@
+(** Synthetic freqmine (PARSEC): FP-growth frequent-itemset mining.
+
+    Builds an FP-tree with pointer-linked nodes (allocator traffic,
+    hashtable probes) and then mines it recursively, re-reading tree nodes
+    many times — a re-use-heavy, integer-dominated workload. *)
+
+val workload : Workload.t

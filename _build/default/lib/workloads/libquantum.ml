@@ -1,0 +1,70 @@
+open Dbi
+
+let entry_bytes = 16 (* basis state + amplitude *)
+let block_entries = 64
+let block_bytes = block_entries * entry_bytes
+
+let gate name flops m ~block =
+  Guest.call m name (fun () ->
+      let rec go off =
+        if off < block_bytes then begin
+          Guest.read_range m (block + off) entry_bytes;
+          Guest.flop m flops;
+          Guest.write_range m (block + off) 8;
+          go (off + entry_bytes)
+        end
+      in
+      go 0)
+
+let toffoli = gate "quantum_toffoli" 6
+let cnot = gate "quantum_cnot" 4
+let sigma_x = gate "quantum_sigma_x" 3
+
+let hadamard m ~block =
+  Guest.call m "quantum_hadamard" (fun () ->
+      let rec go off =
+        if off < block_bytes then begin
+          Guest.read_range m (block + off) entry_bytes;
+          Guest.flop m 8;
+          Guest.write_range m (block + off) entry_bytes;
+          go (off + entry_bytes)
+        end
+      in
+      go 0)
+
+let run m scale =
+  let blocks = 16 in
+  let gates = Scale.apply scale 30 in
+  let rng = Prng.of_string ("libquantum:" ^ Scale.name scale) in
+  Guest.call m "main" (fun () ->
+      let reg = Stdfns.operator_new m (blocks * block_bytes) in
+      Guest.call m "quantum_new_qureg" (fun () ->
+          Guest.write_range m reg (blocks * block_bytes);
+          Guest.iop m 200);
+      Guest.call m "quantum_exp_mod_n" (fun () ->
+          for _g = 1 to gates do
+            Guest.iop m 4;
+            (* each gate touches every block; blocks are independent *)
+            for b = 0 to blocks - 1 do
+              Guest.iop m 2;
+              let block = reg + (b * block_bytes) in
+              match Prng.int rng 4 with
+              | 0 -> toffoli m ~block
+              | 1 -> cnot m ~block
+              | 2 -> sigma_x m ~block
+              | _ -> hadamard m ~block
+            done
+          done);
+      Guest.call m "quantum_measure" (fun () ->
+          Guest.read_range m reg (blocks * block_bytes);
+          Guest.iop m (blocks * block_entries));
+      Stdfns.write_file m ~src:reg ~len:256;
+      Stdfns.free m reg)
+
+let workload =
+  {
+    Workload.name = "libquantum";
+    suite = Workload.Spec;
+    description = "Sparse quantum-register simulation; independent blocks across gates";
+    run;
+  }

@@ -1,0 +1,9 @@
+(** Synthetic libquantum (SPEC): quantum-computer simulation.
+
+    Shor-style gate sequences over a sparse amplitude register, applied in
+    independent 64-entry blocks: same-block dependencies chain across
+    gates while different blocks are free to run in parallel, giving the
+    high function-level parallelism limit the paper reports alongside
+    streamcluster (Fig 13). *)
+
+val workload : Workload.t

@@ -1,0 +1,76 @@
+open Dbi
+
+let bvh_node_bytes = 64
+let triangle_bytes = 48
+
+let intersect_triangle m ~tri ~hit =
+  Guest.call m "intersect_triangle" (fun () ->
+      Guest.read_range m tri triangle_bytes;
+      Guest.flop m 45;
+      Guest.write m hit 8)
+
+(* Proper binary descent from the root: every ray re-reads the top of the
+   tree, so the hot ancestor lines accumulate thousands of re-uses (the
+   >10k stacks of Fig 12) while the leaves stay cold. *)
+let traverse m ~bvh ~bvh_nodes ~tris ~ntris ~hit rng =
+  Guest.call m "BVH::traverse" (fun () ->
+      let node = ref 0 in
+      while !node < bvh_nodes do
+        Guest.read_range m (bvh + (!node * bvh_node_bytes)) bvh_node_bytes;
+        Guest.flop m 18;
+        node := (2 * !node) + 1 + Prng.int rng 2
+      done;
+      for _leaf = 1 to 2 do
+        intersect_triangle m ~tri:(tris + (Prng.int rng ntris * triangle_bytes)) ~hit
+      done)
+
+let shade m ~hit ~pixel =
+  Guest.call m "shade" (fun () ->
+      Guest.read m hit 8;
+      Guest.with_frame m 24 (fun fr ->
+          Guest.flop m 20;
+          Guest.write m fr 8;
+          Stdfns.ieee754_sqrt m ~arg:fr ~res:(fr + 8);
+          Guest.read m (fr + 8) 8;
+          Guest.flop m 8);
+      Guest.write m pixel 4)
+
+let run m scale =
+  let rays = Scale.apply scale 2600 in
+  let bvh_nodes = 4096 in
+  let ntris = 2048 in
+  let rng = Prng.of_string ("raytrace:" ^ Scale.name scale) in
+  Guest.call m "main" (fun () ->
+      let bvh = Stdfns.operator_new m (bvh_nodes * bvh_node_bytes) in
+      let tris = Stdfns.operator_new m (ntris * triangle_bytes) in
+      let frame_buffer = Stdfns.operator_new m (rays * 4) in
+      let hit = Stdfns.operator_new m 16 in
+      Guest.call m "LoadScene" (fun () ->
+          Guest.syscall m "read" ~reads:[]
+            ~writes:[ (tris, ntris * triangle_bytes) ];
+          Guest.iop m (ntris * 2));
+      Guest.call m "BVH::build" (fun () ->
+          for i = 0 to bvh_nodes - 1 do
+            Guest.read_range m (tris + (i mod ntris * triangle_bytes)) 24;
+            Guest.iop m 14;
+            Guest.write_range m (bvh + (i * bvh_node_bytes)) bvh_node_bytes
+          done);
+      Guest.call m "renderFrame" (fun () ->
+          for r = 0 to rays - 1 do
+            Guest.iop m 5;
+            traverse m ~bvh ~bvh_nodes ~tris ~ntris ~hit rng;
+            shade m ~hit ~pixel:(frame_buffer + (r * 4))
+          done);
+      Stdfns.write_file m ~src:frame_buffer ~len:(min (rays * 4) 4096);
+      Stdfns.free m bvh;
+      Stdfns.free m tris;
+      Stdfns.free m frame_buffer;
+      Stdfns.free m hit)
+
+let workload =
+  {
+    Workload.name = "raytrace";
+    suite = Workload.Parsec;
+    description = "BVH ray tracing; scene lines re-used by every ray";
+    run;
+  }

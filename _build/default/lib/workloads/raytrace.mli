@@ -1,0 +1,8 @@
+(** Synthetic raytrace (PARSEC): BVH ray tracing.
+
+    Every ray walks the same acceleration structure, so scene lines are
+    re-used thousands of times (the >10k bars of Fig 12) while per-ray
+    scratch dies immediately; the scene makes it one of the two
+    memory-intensive benchmarks the paper calls out. *)
+
+val workload : Workload.t

@@ -1,0 +1,77 @@
+open Dbi
+
+let dims = 16
+let point_bytes = dims * 8
+
+let dist m ~a ~b =
+  Guest.call m "dist" (fun () ->
+      Guest.read_range m a point_bytes;
+      Guest.read_range m b point_bytes;
+      Guest.flop m (dims * 3))
+
+(* Gain evaluations are independent (each writes its own slot); only the
+   PRNG state threads a serial chain through the program. *)
+let pgain m ~points ~n ~center ~gain rng =
+  Guest.call m "pgain" (fun () ->
+      let samples = 10 in
+      for _s = 1 to samples do
+        Guest.iop m 4;
+        dist m ~a:(points + (Prng.int rng n * point_bytes)) ~b:center
+      done;
+      Guest.flop m 10;
+      Guest.write m gain 8)
+
+let pkmedian m ~points ~n ~rand_state ~gains ~cost rng =
+  Guest.call m "pkmedian" (fun () ->
+      let candidates = 18 in
+      for c = 0 to candidates - 1 do
+        Guest.iop m 5;
+        (* the serial chain: every center choice consumes the PRNG state *)
+        let pick = Stdfns.lrand48 m ~state:rand_state rng in
+        let center = points + (pick mod n * point_bytes) in
+        pgain m ~points ~n ~center ~gain:(gains + (c * 8)) rng
+      done;
+      Guest.read_range m gains (candidates * 8);
+      Guest.flop m 12;
+      Guest.write m cost 8)
+
+let local_search m ~points ~n ~rand_state ~gains ~cost rng =
+  Guest.call m "localSearch" (fun () ->
+      for _round = 1 to 3 do
+        Guest.iop m 6;
+        pkmedian m ~points ~n ~rand_state ~gains ~cost rng
+      done)
+
+let stream_cluster m ~points ~n ~rand_state ~gains ~cost ~chunks rng =
+  Guest.call m "streamCluster" (fun () ->
+      for _chunk = 1 to chunks do
+        Guest.call m "SimStream::read" (fun () ->
+            Guest.syscall m "read" ~reads:[] ~writes:[ (points, n * point_bytes) ];
+            Guest.iop m (n * 2));
+        local_search m ~points ~n ~rand_state ~gains ~cost rng
+      done)
+
+let run m scale =
+  let n = 512 in
+  let chunks = Scale.apply scale 10 in
+  let rng = Prng.of_string ("streamcluster:" ^ Scale.name scale) in
+  Guest.call m "main" (fun () ->
+      let points = Stdfns.operator_new m (n * point_bytes) in
+      let rand_state = Stdfns.operator_new m 16 in
+      let gains = Stdfns.operator_new m (18 * 8) in
+      let cost = Stdfns.operator_new m 16 in
+      Guest.write_range m rand_state 16;
+      Guest.write m cost 8;
+      stream_cluster m ~points ~n ~rand_state ~gains ~cost ~chunks rng;
+      Stdfns.write_file m ~src:cost ~len:8;
+      Stdfns.free m points;
+      Stdfns.free m rand_state;
+      Stdfns.free m cost)
+
+let workload =
+  {
+    Workload.name = "streamcluster";
+    suite = Workload.Parsec;
+    description = "Online k-median; short independent chains, PRNG state on the critical path";
+    run;
+  }

@@ -1,0 +1,11 @@
+(** Synthetic streamcluster (PARSEC): online k-median clustering.
+
+    Structured to reproduce the paper's critical-path findings: the
+    dependency chains are many and short (gain evaluations over
+    independent points), so the theoretical function-level parallelism is
+    the highest of the suite (Fig 13), and the longest chain threads
+    through the serial PRNG state —
+    [drand48_iterate -> nrand48_r -> lrand48 -> pkmedian -> localSearch ->
+    streamCluster -> main]. Data re-use is minimal (points are streamed). *)
+
+val workload : Workload.t

@@ -1,0 +1,28 @@
+let parsec =
+  [
+    Blackscholes.workload;
+    Bodytrack.workload;
+    Canneal.workload;
+    Dedup.workload;
+    Facesim.workload;
+    Ferret.workload;
+    Fluidanimate.workload;
+    Freqmine.workload;
+    Raytrace.workload;
+    Streamcluster.workload;
+    Swaptions.workload;
+    Vips.workload;
+    X264.workload;
+  ]
+
+let all = parsec @ [ Libquantum.workload ]
+
+let find name =
+  match List.find_opt (fun (w : Workload.t) -> w.Workload.name = name) all with
+  | Some w -> Ok w
+  | None ->
+    Error
+      (Printf.sprintf "unknown workload %S (known: %s)" name
+         (String.concat ", " (List.map (fun (w : Workload.t) -> w.Workload.name) all)))
+
+let names () = List.map (fun (w : Workload.t) -> w.Workload.name) all

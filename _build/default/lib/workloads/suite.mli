@@ -1,0 +1,12 @@
+(** Workload registry. *)
+
+(** All workloads, PARSEC first (alphabetical), then SPEC. *)
+val all : Workload.t list
+
+(** PARSEC subset only (the population of Figs 4–8 and 12). *)
+val parsec : Workload.t list
+
+(** [find name] looks a workload up by name. *)
+val find : string -> (Workload.t, string) result
+
+val names : unit -> string list

@@ -1,0 +1,90 @@
+open Dbi
+
+let factors = 3
+let tenors = 16
+let steps = 12
+let path_bytes = tenors * steps * 8
+
+let ran_unif m ~state =
+  Guest.call m "RanUnif" (fun () ->
+      Guest.read_range m state 16;
+      Guest.iop m 14;
+      Guest.write_range m state 16)
+
+let sim_path m ~state ~path =
+  Guest.call m "HJM_SimPath_Forward_Blocking" (fun () ->
+      for s = 0 to steps - 1 do
+        for _f = 1 to factors do
+          ran_unif m ~state
+        done;
+        let row = path + (s * tenors * 8) in
+        Guest.read_range m state 8;
+        if s > 0 then Guest.read_range m (path + ((s - 1) * tenors * 8)) (tenors * 8);
+        Guest.flop m (tenors / 2);
+        Guest.write_range m row (tenors * 8)
+      done)
+
+let discount_factors m ~path ~discounts =
+  Guest.call m "Discount_Factors_Blocking" (fun () ->
+      for s = 0 to steps - 1 do
+        Guest.read_range m (path + (s * tenors * 8)) (tenors * 8);
+        Guest.flop m 6;
+        Guest.write_range m (discounts + (s * 8)) 8
+      done)
+
+let price_from_path m ~path ~discounts ~price =
+  Guest.call m "HJM_Swaption_Blocking" (fun () ->
+      Guest.read_range m discounts (steps * 8);
+      Guest.read_range m path (tenors * 8);
+      Guest.with_frame m 16 (fun fr ->
+          Guest.flop m 40;
+          Guest.write m fr 8;
+          Stdfns.ieee754_exp m ~arg:fr ~res:(fr + 8);
+          Guest.read m (fr + 8) 8);
+      Guest.read m price 8;
+      Guest.flop m 6;
+      Guest.write m price 8)
+
+let run m scale =
+  let swaptions = 4 in
+  let trials = Scale.apply scale 40 in
+  Guest.call m "main" (fun () ->
+      let states = Stdfns.operator_new m (swaptions * 16) in
+      let path = Stdfns.operator_new m path_bytes in
+      let discounts = Stdfns.operator_new m (steps * 8) in
+      let prices = Stdfns.std_vector_ctor m ~elems:swaptions ~elem_size:8 in
+      Guest.write_range m states (swaptions * 16);
+      for sw = 0 to swaptions - 1 do
+        Guest.call m "worker" (fun () ->
+            Guest.write m (prices + (sw * 8)) 8;
+            (* each swaption owns its PRNG stream, like the benchmark's
+               per-trial seeds *)
+            let state = states + (sw * 16) in
+            for _t = 1 to trials do
+              Guest.iop m 8;
+              sim_path m ~state ~path;
+              discount_factors m ~path ~discounts;
+              price_from_path m ~path ~discounts ~price:(prices + (sw * 8));
+              (* inline payoff accumulation over the whole path *)
+              let rec walk s =
+                if s < steps then begin
+                  Guest.read_range m (path + (s * tenors * 8)) (tenors * 8);
+                  Guest.iop m 30;
+                  walk (s + 1)
+                end
+              in
+              walk 0
+            done)
+      done;
+      Stdfns.write_file m ~src:prices ~len:(swaptions * 8);
+      Stdfns.free m path;
+      Stdfns.free m discounts;
+      Stdfns.free m states)
+
+let workload =
+  {
+    Workload.name = "swaptions";
+    suite = Workload.Parsec;
+    description = "HJM Monte-Carlo pricing; fresh path matrices, communication-bound stages";
+    run;
+  }

@@ -1,0 +1,8 @@
+(** Synthetic swaptions (PARSEC): HJM Monte-Carlo swaption pricing.
+
+    Every trial writes and immediately consumes a fresh simulation-path
+    matrix with about one operation per byte, so the big functions are
+    communication-bound (never break even) and only small leaves get
+    selected — the paper's third low-coverage benchmark in Fig 7. *)
+
+val workload : Workload.t

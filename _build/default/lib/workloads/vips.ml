@@ -1,0 +1,128 @@
+open Dbi
+
+let width = 96 (* pixels per row *)
+let pixel = 4
+let row_bytes = width * pixel
+
+(* 7x7 convolution: output row r consumes input rows r-3 .. r+3, so each
+   input byte stays live for six row sweeps — the long-lifetime behaviour
+   of Fig 10. The 49-coefficient mask is re-read for every row and tails
+   out to the whole call. *)
+let conv_gen m ~src ~dst ~rows ~ksize =
+  Guest.call m "conv_gen" (fun () ->
+      Guest.with_buffer m (ksize * ksize * 8) (fun mask ->
+          Guest.write_range m mask (ksize * ksize * 8);
+          let half = ksize / 2 in
+          for r = 0 to rows - 1 do
+            for q = max 0 (r - half) to min (rows - 1) (r + half) do
+              Guest.read_range m (src + (q * row_bytes)) row_bytes;
+              Guest.read_range m mask (ksize * 8);
+              Guest.flop m (width * ksize)
+            done;
+            Guest.write_range m (dst + (r * row_bytes)) row_bytes
+          done))
+
+(* Pointwise colourspace conversion: each pixel re-read back-to-back
+   (lifetime ~0); one pixel per row re-read at the end of the sweep for
+   the short tail of Fig 11. *)
+let imb_xyz2lab m ~src ~dst ~rows =
+  Guest.call m "imb_XYZ2Lab" (fun () ->
+      for r = 0 to rows - 1 do
+        for c = 0 to width - 1 do
+          let p = src + (r * row_bytes) + (c * pixel) in
+          Guest.read m p pixel;
+          Guest.flop m 6;
+          Guest.read m p pixel;
+          Guest.flop m 6;
+          Guest.write m (dst + (r * row_bytes) + (c * pixel)) pixel
+        done;
+        (* look back a few rows for the white-point cache: the short tail
+           of Fig 11 *)
+        let back = min r (1 + (r mod 4)) in
+        Guest.read m (src + ((r - back) * row_bytes)) pixel;
+        Guest.flop m 4
+      done)
+
+(* Bilinear resample: a 2x2 neighborhood per output pixel, so input pixels
+   are re-read a few times within a short window. *)
+let affine_gen m ~src ~dst ~rows =
+  Guest.call m "affine_gen" (fun () ->
+      for r = 0 to rows - 1 do
+        for c = 0 to width - 1 do
+          (* 0.75x scale: source neighborhoods overlap between outputs *)
+          let sr = min (rows - 1) (r * 3 / 4) in
+          let sc = min (width - 2) (c * 3 / 4) in
+          let p = src + (sr * row_bytes) + (sc * pixel) in
+          Guest.read m p pixel;
+          Guest.read m (p + pixel) pixel;
+          Guest.flop m 9;
+          Guest.write m (dst + (r * row_bytes) + (c * pixel)) pixel
+        done
+      done)
+
+let pointwise name flops m ~src ~dst ~rows =
+  Guest.call m name (fun () ->
+      for r = 0 to rows - 1 do
+        Guest.read_range m (src + (r * row_bytes)) row_bytes;
+        Guest.flop m (width * flops / 4);
+        Guest.write_range m (dst + (r * row_bytes)) row_bytes
+      done)
+
+let im_clip = pointwise "im_clip" 2
+let im_lintra = pointwise "im_lintra" 3
+let im_gammacorrect = pointwise "im_gammacorrect" 4
+
+let im_extract_band m ~src ~dst ~rows =
+  Guest.call m "im_extract_band" (fun () ->
+      for r = 0 to rows - 1 do
+        let rec go c =
+          if c < width then begin
+            Guest.read m (src + (r * row_bytes) + (c * pixel)) pixel;
+            Guest.iop m 2;
+            go (c + 4)
+          end
+        in
+        go 0;
+        Guest.write_range m (dst + (r * row_bytes / 4)) (row_bytes / 4)
+      done)
+
+let im_copy m ~src ~dst ~rows =
+  Guest.call m "im_copy" (fun () ->
+      for r = 0 to rows - 1 do
+        Stdfns.memcpy m ~dst:(dst + (r * row_bytes)) ~src:(src + (r * row_bytes)) ~len:row_bytes
+      done)
+
+let run m scale =
+  let rows = Scale.apply scale 40 in
+  let image_bytes = rows * row_bytes in
+  Guest.call m "main" (fun () ->
+      let buf = Array.init 4 (fun _ -> Stdfns.operator_new m image_bytes) in
+      Guest.call m "im_open" (fun () ->
+          Guest.syscall m "read" ~reads:[] ~writes:[ (buf.(0), image_bytes) ];
+          Guest.iop m 300);
+      Guest.call m "im_generate" (fun () ->
+          (* benchmark pipeline: resample, colourspace, sharpen, convolve *)
+          affine_gen m ~src:buf.(0) ~dst:buf.(1) ~rows;
+          im_clip m ~src:buf.(1) ~dst:buf.(2) ~rows;
+          imb_xyz2lab m ~src:buf.(2) ~dst:buf.(3) ~rows;
+          im_lintra m ~src:buf.(3) ~dst:buf.(0) ~rows;
+          Guest.call m "im_sharpen" (fun () ->
+              Guest.iop m 40;
+              conv_gen m ~src:buf.(0) ~dst:buf.(1) ~rows ~ksize:3);
+          Guest.call m "im_conv" (fun () ->
+              Guest.iop m 40;
+              conv_gen m ~src:buf.(1) ~dst:buf.(2) ~rows ~ksize:7);
+          im_gammacorrect m ~src:buf.(2) ~dst:buf.(3) ~rows;
+          im_extract_band m ~src:buf.(3) ~dst:buf.(0) ~rows;
+          im_copy m ~src:buf.(3) ~dst:buf.(1) ~rows);
+      Guest.call m "wbuffer_write" (fun () ->
+          Stdfns.write_file m ~src:buf.(1) ~len:(min image_bytes 4096));
+      Array.iter (fun b -> Stdfns.free m b) buf)
+
+let workload =
+  {
+    Workload.name = "vips";
+    suite = Workload.Parsec;
+    description = "Image pipeline; convolution vs pointwise stages with contrasting reuse";
+    run;
+  }

@@ -1,0 +1,19 @@
+(** Synthetic vips (PARSEC): image-processing pipeline.
+
+    The paper's data-reuse case study. The pipeline stages reproduce its
+    findings:
+
+    - [conv_gen] — 7x7 convolution; every input pixel is read across seven
+      consecutive row sweeps, so its re-use lifetimes form a central peak
+      with a long tail (Fig 10) and the function has the largest average
+      lifetime (Fig 9). Runs in two calling contexts ([im_conv] and
+      [im_sharpen]), so it appears twice in per-context rankings.
+    - [imb_XYZ2Lab] — pointwise colour conversion; each pixel is re-read
+      immediately, giving a peak at lifetime 0 and a short tail (Fig 11)
+      and the smallest average lifetime.
+    - [affine_gen] — bilinear resampling with a small overlap window.
+
+    These three each contribute ~10% of the benchmark's unique bytes; the
+    rest spreads 2–3% each over small utility stages. *)
+
+val workload : Workload.t

@@ -1,0 +1,14 @@
+type suite =
+  | Parsec
+  | Spec
+
+type t = {
+  name : string;
+  suite : suite;
+  description : string;
+  run : Dbi.Machine.t -> Scale.t -> unit;
+}
+
+let suite_name = function
+  | Parsec -> "PARSEC-2.1"
+  | Spec -> "SPEC"

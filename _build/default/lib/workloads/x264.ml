@@ -1,0 +1,84 @@
+open Dbi
+
+let mb = 256 (* 16x16 macroblock, 1 byte per pel *)
+
+let pixel_satd m ~cur ~ref_ =
+  Guest.call m "pixel_satd_16x16" (fun () ->
+      Guest.read_range m cur mb;
+      Guest.read_range m ref_ mb;
+      Guest.iop m 360)
+
+let motion_search m ~cur ~ref_frame ~frame_bytes ~mv rng =
+  Guest.call m "motion_search" (fun () ->
+      Guest.read m mv 8;
+      for _cand = 1 to 6 do
+        let off = Prng.int rng (max 1 (frame_bytes - mb)) land lnot 15 in
+        pixel_satd m ~cur ~ref_:(ref_frame + off);
+        Guest.iop m 20
+      done;
+      Guest.write m mv 8)
+
+let dct_quant m ~cur ~coeffs =
+  Guest.call m "dct_quant" (fun () ->
+      Guest.read_range m cur mb;
+      Guest.iop m 480;
+      Guest.write_range m coeffs (mb * 2))
+
+let cavlc m ~coeffs ~bitstream ~pos =
+  Guest.call m "cavlc_encode" (fun () ->
+      Guest.read_range m coeffs (mb * 2);
+      Guest.iop m 300;
+      Guest.write_range m (bitstream + pos) (mb / 4))
+
+let deblock m ~frame ~frame_bytes =
+  Guest.call m "deblock_filter" (fun () ->
+      let rec go off =
+        if off < frame_bytes then begin
+          Guest.read_range m (frame + off) 64;
+          Guest.iop m 30;
+          Guest.write_range m (frame + off) 32;
+          go (off + 256)
+        end
+      in
+      go 0)
+
+let run m scale =
+  let mbs_per_frame = 48 in
+  let frame_bytes = mbs_per_frame * mb in
+  let frames = Scale.apply scale 4 in
+  let rng = Prng.of_string ("x264:" ^ Scale.name scale) in
+  Guest.call m "main" (fun () ->
+      let cur_frame = Stdfns.operator_new m frame_bytes in
+      let ref_frame = Stdfns.operator_new m frame_bytes in
+      let coeffs = Stdfns.operator_new m (mb * 2) in
+      let mv = Stdfns.operator_new m 16 in
+      let bitstream = Stdfns.operator_new m (frames * frame_bytes) in
+      let pos = ref 0 in
+      Guest.write_range m ref_frame frame_bytes;
+      for _f = 1 to frames do
+        Guest.call m "encode_frame" (fun () ->
+            Guest.syscall m "read" ~reads:[] ~writes:[ (cur_frame, frame_bytes) ];
+            for b = 0 to mbs_per_frame - 1 do
+              Guest.iop m 10;
+              let cur = cur_frame + (b * mb) in
+              motion_search m ~cur ~ref_frame ~frame_bytes ~mv rng;
+              dct_quant m ~cur ~coeffs;
+              cavlc m ~coeffs ~bitstream ~pos:!pos;
+              pos := !pos + (mb / 4)
+            done;
+            deblock m ~frame:cur_frame ~frame_bytes;
+            (* reconstructed frame becomes the new reference *)
+            Stdfns.memcpy m ~dst:ref_frame ~src:cur_frame ~len:frame_bytes)
+      done;
+      Stdfns.write_file m ~src:bitstream ~len:(min !pos 4096);
+      Stdfns.free m cur_frame;
+      Stdfns.free m ref_frame;
+      Stdfns.free m bitstream)
+
+let workload =
+  {
+    Workload.name = "x264";
+    suite = Workload.Parsec;
+    description = "H.264 encoding; reference-frame windows re-read by motion search";
+    run;
+  }

@@ -1,0 +1,7 @@
+(** Synthetic x264 (PARSEC): H.264 video encoding.
+
+    Motion search re-reads reference-frame windows for every macroblock
+    (heavy line re-use), followed by SATD scoring, DCT/quantization and
+    entropy coding into a bitstream. *)
+
+val workload : Workload.t

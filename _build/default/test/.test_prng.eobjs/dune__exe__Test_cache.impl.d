@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Cachesim List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_callgrind.ml: Alcotest Callgrind Dbi Option

@@ -1,0 +1,1 @@
+test/test_cdfg.ml: Alcotest Analysis Callgrind Dbi List Option Sigil

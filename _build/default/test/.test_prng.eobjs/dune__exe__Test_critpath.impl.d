@@ -1,0 +1,1 @@
+test/test_critpath.ml: Alcotest Analysis Event_log List QCheck QCheck_alcotest Sigil

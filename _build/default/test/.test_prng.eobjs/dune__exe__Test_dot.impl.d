@@ -1,0 +1,1 @@
+test/test_dot.ml: Alcotest Analysis Buffer Dbi Filename Format Fun Option Sigil String Sys Unix

@@ -1,0 +1,1 @@
+test/test_event_log.ml: Alcotest Event_log Filename Fmt List QCheck QCheck_alcotest Sigil Sys

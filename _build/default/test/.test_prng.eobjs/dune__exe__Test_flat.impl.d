@@ -1,0 +1,1 @@
+test/test_flat.ml: Alcotest Analysis Buffer Dbi Format List Option Sigil String

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Analysis Callgrind Dbi Filename Fun List Option Printf QCheck QCheck_alcotest Sigil String Sys

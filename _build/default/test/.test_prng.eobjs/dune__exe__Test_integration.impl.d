@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Analysis Callgrind Dbi List Option Sigil Workloads

@@ -1,0 +1,1 @@
+test/test_output_compare.ml: Alcotest Analysis Buffer Callgrind Dbi Filename Format Fun List Option Sigil String Sys Unix

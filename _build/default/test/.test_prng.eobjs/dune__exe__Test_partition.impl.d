@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Analysis Callgrind Dbi Hashtbl List Option Sigil

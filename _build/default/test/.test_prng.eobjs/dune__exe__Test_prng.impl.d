@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Dbi Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Dbi List Profile QCheck QCheck_alcotest Sigil

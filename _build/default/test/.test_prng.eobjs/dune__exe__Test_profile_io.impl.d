@@ -1,0 +1,1 @@
+test/test_profile_io.ml: Alcotest Dbi Filename Fun List Option Sigil Sys Workloads

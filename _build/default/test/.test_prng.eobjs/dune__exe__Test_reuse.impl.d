@@ -1,0 +1,1 @@
+test/test_reuse.ml: Alcotest List QCheck QCheck_alcotest Reuse Shadow Sigil

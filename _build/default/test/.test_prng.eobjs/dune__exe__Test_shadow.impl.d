@@ -1,0 +1,1 @@
+test/test_shadow.ml: Alcotest Dbi Hashtbl List QCheck QCheck_alcotest Shadow Sigil

@@ -1,0 +1,1 @@
+test/test_sigil_tool.ml: Alcotest Dbi List Option Sigil String

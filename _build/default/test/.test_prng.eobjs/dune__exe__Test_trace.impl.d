@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Dbi Filename Fun List Option Sigil Sys Workloads

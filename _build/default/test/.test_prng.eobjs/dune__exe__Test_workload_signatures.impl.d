@@ -1,0 +1,1 @@
+test/test_workload_signatures.ml: Alcotest Analysis Callgrind Dbi List Option Printf Sigil Workloads

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Dbi List Printf Workloads

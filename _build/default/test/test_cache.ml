@@ -1,0 +1,102 @@
+let small = { Cachesim.Cache.size = 1024; assoc = 2; line = 64 }
+(* 1024/2/64 = 8 sets *)
+
+let test_cold_miss_then_hit () =
+  let c = Cachesim.Cache.create small in
+  Alcotest.(check bool) "first access misses" false (Cachesim.Cache.access c 0 8);
+  Alcotest.(check bool) "second access hits" true (Cachesim.Cache.access c 0 8);
+  Alcotest.(check int) "accesses" 2 (Cachesim.Cache.accesses c);
+  Alcotest.(check int) "misses" 1 (Cachesim.Cache.misses c)
+
+let test_same_line_hits () =
+  let c = Cachesim.Cache.create small in
+  ignore (Cachesim.Cache.access c 0 8);
+  Alcotest.(check bool) "same line, other offset" true (Cachesim.Cache.access c 56 8)
+
+let test_straddle_counts_one_access () =
+  let c = Cachesim.Cache.create small in
+  ignore (Cachesim.Cache.access c 60 8);
+  (* touches lines 0 and 1 *)
+  Alcotest.(check int) "one access" 1 (Cachesim.Cache.accesses c);
+  Alcotest.(check bool) "both lines now resident" true
+    (Cachesim.Cache.access c 0 8 && Cachesim.Cache.access c 64 8)
+
+let test_lru_eviction () =
+  let c = Cachesim.Cache.create small in
+  (* set 0 holds 2 ways; lines mapping to set 0 are 64-byte lines at
+     stride sets*64 = 512 *)
+  ignore (Cachesim.Cache.access c 0 8);
+  ignore (Cachesim.Cache.access c 512 8);
+  (* touch line 0 again so 512 is LRU *)
+  ignore (Cachesim.Cache.access c 0 8);
+  ignore (Cachesim.Cache.access c 1024 8);
+  (* evicts 512 *)
+  Alcotest.(check bool) "mru stays" true (Cachesim.Cache.access c 0 8);
+  Alcotest.(check bool) "lru evicted" false (Cachesim.Cache.access c 512 8)
+
+let test_full_occupancy () =
+  let c = Cachesim.Cache.create small in
+  for i = 0 to 15 do
+    ignore (Cachesim.Cache.access c (i * 64) 8)
+  done;
+  Alcotest.(check int) "16 cold fills" 16 (Cachesim.Cache.lines_filled c);
+  for i = 0 to 15 do
+    Alcotest.(check bool) (Printf.sprintf "line %d resident" i) true
+      (Cachesim.Cache.access c (i * 64) 8)
+  done
+
+let test_reset () =
+  let c = Cachesim.Cache.create small in
+  ignore (Cachesim.Cache.access c 0 8);
+  Cachesim.Cache.reset c;
+  Alcotest.(check int) "counters cleared" 0 (Cachesim.Cache.accesses c);
+  Alcotest.(check bool) "contents cleared" false (Cachesim.Cache.access c 0 8)
+
+let test_geometry_validation () =
+  Alcotest.check_raises "non-pow2"
+    (Invalid_argument "Cache.create: geometry must be powers of two") (fun () ->
+      ignore (Cachesim.Cache.create { Cachesim.Cache.size = 1000; assoc = 2; line = 64 }));
+  Alcotest.check_raises "assoc*line > size"
+    (Invalid_argument "Cache.create: assoc * line > size") (fun () ->
+      ignore (Cachesim.Cache.create { Cachesim.Cache.size = 64; assoc = 2; line = 64 }))
+
+let qcheck_misses_bounded =
+  QCheck.Test.make ~name:"misses <= accesses" ~count:200
+    QCheck.(list (int_range 0 100_000))
+    (fun addrs ->
+      let c = Cachesim.Cache.create small in
+      List.iter (fun a -> ignore (Cachesim.Cache.access c a 4)) addrs;
+      Cachesim.Cache.misses c <= Cachesim.Cache.accesses c
+      && Cachesim.Cache.accesses c = List.length addrs)
+
+let qcheck_working_set_fits =
+  QCheck.Test.make ~name:"small working set stops missing" ~count:50
+    QCheck.(int_range 1 8)
+    (fun nlines ->
+      let c = Cachesim.Cache.create { Cachesim.Cache.size = 4096; assoc = 8; line = 64 } in
+      (* touch nlines distinct lines twice; second round must all hit *)
+      for i = 0 to nlines - 1 do
+        ignore (Cachesim.Cache.access c (i * 64) 8)
+      done;
+      let all_hit = ref true in
+      for i = 0 to nlines - 1 do
+        if not (Cachesim.Cache.access c (i * 64) 8) then all_hit := false
+      done;
+      !all_hit)
+
+let () =
+  Alcotest.run "cache"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "cold miss then hit" `Quick test_cold_miss_then_hit;
+          Alcotest.test_case "same line hits" `Quick test_same_line_hits;
+          Alcotest.test_case "straddle counts one access" `Quick test_straddle_counts_one_access;
+          Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
+          Alcotest.test_case "full occupancy" `Quick test_full_occupancy;
+          Alcotest.test_case "reset" `Quick test_reset;
+          Alcotest.test_case "geometry validation" `Quick test_geometry_validation;
+          QCheck_alcotest.to_alcotest qcheck_misses_bounded;
+          QCheck_alcotest.to_alcotest qcheck_working_set_fits;
+        ] );
+    ]

@@ -1,0 +1,127 @@
+(* Run a small guest program under the Callgrind tool and check its cost
+   attribution. Call overhead is disabled so counts are exact. *)
+let run_guest body =
+  let tool = ref None in
+  let r =
+    Dbi.Runner.run ~call_overhead:0
+      ~tools:[ (fun m -> let t = Callgrind.Tool.create m in tool := Some t; Callgrind.Tool.tool t) ]
+      body
+  in
+  (Option.get !tool, r.Dbi.Runner.machine)
+
+let find_ctx m path_wanted =
+  let contexts = Dbi.Machine.contexts m in
+  let symbols = Dbi.Machine.symbols m in
+  let found = ref None in
+  Dbi.Context.iter contexts (fun ctx ->
+      if Dbi.Context.path contexts symbols ctx = path_wanted then found := Some ctx);
+  match !found with
+  | Some ctx -> ctx
+  | None -> Alcotest.failf "no context %s" path_wanted
+
+let test_ir_attribution () =
+  let tool, m =
+    run_guest (fun m ->
+        Dbi.Guest.call m "main" (fun () ->
+            Dbi.Guest.iop m 5;
+            Dbi.Guest.call m "f" (fun () ->
+                Dbi.Guest.flop m 3;
+                Dbi.Guest.read m 0x200000 8;
+                Dbi.Guest.write m 0x200010 8);
+            Dbi.Guest.branch m true))
+  in
+  let main_cost = Callgrind.Tool.cost tool (find_ctx m "main") in
+  let f_cost = Callgrind.Tool.cost tool (find_ctx m "main/f") in
+  (* main: 5 ops + 1 branch = 6 Ir; f: 3 ops + 2 accesses = 5 Ir *)
+  Alcotest.(check int) "main ir" 6 main_cost.Callgrind.Cost.ir;
+  Alcotest.(check int) "f ir" 5 f_cost.Callgrind.Cost.ir;
+  Alcotest.(check int) "f fp ops" 3 f_cost.Callgrind.Cost.fp_ops;
+  Alcotest.(check int) "f dr" 1 f_cost.Callgrind.Cost.dr;
+  Alcotest.(check int) "f dw" 1 f_cost.Callgrind.Cost.dw;
+  Alcotest.(check int) "main bc" 1 main_cost.Callgrind.Cost.bc;
+  Alcotest.(check int) "f calls" 1 f_cost.Callgrind.Cost.calls
+
+let test_inclusive_cost () =
+  let tool, m =
+    run_guest (fun m ->
+        Dbi.Guest.call m "main" (fun () ->
+            Dbi.Guest.iop m 10;
+            Dbi.Guest.call m "f" (fun () -> Dbi.Guest.iop m 7)))
+  in
+  let incl = Callgrind.Tool.inclusive_cost tool (find_ctx m "main") in
+  Alcotest.(check int) "inclusive int ops" 17 incl.Callgrind.Cost.int_ops;
+  let total = Callgrind.Tool.total tool in
+  Alcotest.(check int) "total matches" 17 total.Callgrind.Cost.int_ops
+
+let test_cache_misses_attributed () =
+  let tool, m =
+    run_guest (fun m ->
+        Dbi.Guest.call m "main" (fun () ->
+            Dbi.Guest.call m "cold" (fun () ->
+                (* 64 distinct lines: all cold misses *)
+                for i = 0 to 63 do
+                  Dbi.Guest.read m (0x200000 + (i * 64)) 8
+                done);
+            Dbi.Guest.call m "hot" (fun () ->
+                for _ = 1 to 4 do
+                  Dbi.Guest.read m 0x200000 8
+                done)))
+  in
+  let cold = Callgrind.Tool.cost tool (find_ctx m "main/cold") in
+  let hot = Callgrind.Tool.cost tool (find_ctx m "main/hot") in
+  Alcotest.(check int) "cold D1 misses" 64 cold.Callgrind.Cost.d1mr;
+  Alcotest.(check int) "hot no D1 misses" 0 hot.Callgrind.Cost.d1mr
+
+let test_estimate_formula () =
+  let c = Callgrind.Cost.zero () in
+  c.Callgrind.Cost.ir <- 100;
+  c.Callgrind.Cost.bcm <- 2;
+  c.Callgrind.Cost.d1mr <- 3;
+  c.Callgrind.Cost.dlmw <- 1;
+  (* 100 + 10*2 + 10*3 + 100*1 *)
+  Alcotest.(check int) "CEst" 250 (Callgrind.Estimate.cycles c);
+  Alcotest.(check (float 1e-12)) "seconds at 1GHz" 250e-9 (Callgrind.Estimate.seconds c)
+
+let test_cost_arithmetic () =
+  let a = Callgrind.Cost.zero () and b = Callgrind.Cost.zero () in
+  a.Callgrind.Cost.ir <- 5;
+  b.Callgrind.Cost.ir <- 7;
+  b.Callgrind.Cost.i1mr <- 2;
+  Callgrind.Cost.add ~into:a b;
+  Alcotest.(check int) "added" 12 a.Callgrind.Cost.ir;
+  Alcotest.(check int) "l1 misses" 2 (Callgrind.Cost.l1_misses a);
+  let c = Callgrind.Cost.copy a in
+  c.Callgrind.Cost.ir <- 0;
+  Alcotest.(check int) "copy is independent" 12 a.Callgrind.Cost.ir
+
+let test_report_rows_sorted () =
+  let tool, _ =
+    run_guest (fun m ->
+        Dbi.Guest.call m "main" (fun () ->
+            Dbi.Guest.call m "light" (fun () -> Dbi.Guest.iop m 5);
+            Dbi.Guest.call m "heavy" (fun () -> Dbi.Guest.iop m 5000)))
+  in
+  match Callgrind.Report.rows tool with
+  | first :: _ ->
+    Alcotest.(check string) "heaviest first" "main/heavy" first.Callgrind.Report.path
+  | [] -> Alcotest.fail "no rows"
+
+let test_unvisited_ctx_zero_cost () =
+  let tool, _ = run_guest (fun m -> Dbi.Guest.call m "main" (fun () -> ())) in
+  let c = Callgrind.Tool.cost tool 9999 in
+  Alcotest.(check int) "zero" 0 c.Callgrind.Cost.ir
+
+let () =
+  Alcotest.run "callgrind"
+    [
+      ( "callgrind",
+        [
+          Alcotest.test_case "ir attribution" `Quick test_ir_attribution;
+          Alcotest.test_case "inclusive cost" `Quick test_inclusive_cost;
+          Alcotest.test_case "cache misses attributed" `Quick test_cache_misses_attributed;
+          Alcotest.test_case "estimate formula" `Quick test_estimate_formula;
+          Alcotest.test_case "cost arithmetic" `Quick test_cost_arithmetic;
+          Alcotest.test_case "report rows sorted" `Quick test_report_rows_sorted;
+          Alcotest.test_case "unvisited ctx zero cost" `Quick test_unvisited_ctx_zero_cost;
+        ] );
+    ]

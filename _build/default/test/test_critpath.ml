@@ -1,0 +1,206 @@
+open Sigil
+
+let log_of entries =
+  let log = Event_log.create () in
+  List.iter (Event_log.add log) entries;
+  log
+
+let call ctx call = Event_log.Call { ctx; call }
+let ret ctx call = Event_log.Ret { ctx; call }
+let comp ctx call ops = Event_log.Comp { ctx; call; int_ops = ops; fp_ops = 0 }
+
+let xfer (src_ctx, src_call) (dst_ctx, dst_call) bytes =
+  Event_log.Xfer { src_ctx; src_call; dst_ctx; dst_call; bytes; unique_bytes = bytes }
+
+let test_serial_chain () =
+  (* second call of f consumes the first call's output: fully serial *)
+  let t =
+    Analysis.Critpath.analyze
+      (log_of
+         [
+           call 1 1; comp 1 1 10; ret 1 1;
+           call 1 2; xfer (1, 1) (1, 2) 8; comp 1 2 10; ret 1 2;
+         ])
+  in
+  Alcotest.(check int) "serial" 20 (Analysis.Critpath.serial_length t);
+  Alcotest.(check int) "critical path" 20 (Analysis.Critpath.critical_path_length t);
+  Alcotest.(check (float 1e-9)) "no parallelism" 1.0 (Analysis.Critpath.parallelism t)
+
+let test_independent_calls_parallel () =
+  let t =
+    Analysis.Critpath.analyze
+      (log_of [ call 1 1; comp 1 1 10; ret 1 1; call 1 2; comp 1 2 10; ret 1 2 ])
+  in
+  Alcotest.(check int) "critical path one call" 10 (Analysis.Critpath.critical_path_length t);
+  Alcotest.(check (float 1e-9)) "2x parallel" 2.0 (Analysis.Critpath.parallelism t)
+
+let test_non_blocking_caller () =
+  (* A(5) calls B(7); A resumes for 4 more ops without reading B's data:
+     the resumption depends only on A's previous occurrence (Fig 3) *)
+  let entries = [ call 1 1; comp 1 1 5; call 2 1; comp 2 1 7; ret 2 1; comp 1 1 4; ret 1 1 ] in
+  let t = Analysis.Critpath.analyze (log_of entries) in
+  Alcotest.(check int) "serial" 16 (Analysis.Critpath.serial_length t);
+  (* chains: A1(5)->B(12) and A1(5)->A2(9); B wins *)
+  Alcotest.(check int) "critical path through B" 12 (Analysis.Critpath.critical_path_length t)
+
+let test_data_dep_orders_caller () =
+  (* same shape, but A's resumption consumes B's output *)
+  let entries =
+    [ call 1 1; comp 1 1 5; call 2 1; comp 2 1 7; ret 2 1;
+      xfer (2, 1) (1, 1) 8; comp 1 1 4; ret 1 1 ]
+  in
+  let t = Analysis.Critpath.analyze (log_of entries) in
+  Alcotest.(check int) "fully serial now" 16 (Analysis.Critpath.critical_path_length t)
+
+let test_occurrences_within_call_ordered () =
+  (* one call split into two fragments by a child call: occurrence order
+     is conservatively enforced even without data deps *)
+  let entries =
+    [ call 1 1; comp 1 1 6; call 2 1; ret 2 1; comp 1 1 6; ret 1 1 ]
+  in
+  let t = Analysis.Critpath.analyze (log_of entries) in
+  Alcotest.(check int) "both fragments chain" 12 (Analysis.Critpath.critical_path_length t)
+
+let test_path_nodes_and_contexts () =
+  let t =
+    Analysis.Critpath.analyze
+      (log_of
+         [
+           call 1 1; comp 1 1 3;
+           call 2 1; xfer (1, 1) (2, 1) 4; comp 2 1 5; ret 2 1;
+           ret 1 1;
+         ])
+  in
+  (match Analysis.Critpath.critical_path t with
+  | path ->
+    Alcotest.(check bool) "non-empty" true (List.length path >= 2);
+    let last = List.nth path (List.length path - 1) in
+    Alcotest.(check int) "leaf is ctx 2" 2 last.Analysis.Critpath.ctx;
+    Alcotest.(check int) "leaf inclusive" 8 last.Analysis.Critpath.inclusive);
+  match Analysis.Critpath.critical_path_contexts t with
+  | leaf :: _ -> Alcotest.(check int) "leaf first" 2 leaf
+  | [] -> Alcotest.fail "empty context path"
+
+let test_unknown_producer_ignored () =
+  (* transfers from evicted/unknown producers impose no ordering *)
+  let t =
+    Analysis.Critpath.analyze
+      (log_of [ call 1 1; xfer (99, 5) (1, 1) 8; comp 1 1 10; ret 1 1 ])
+  in
+  Alcotest.(check int) "runs fine" 10 (Analysis.Critpath.critical_path_length t)
+
+let test_mismatched_comp_rejected () =
+  match Analysis.Critpath.analyze (log_of [ call 1 1; comp 2 9 10 ]) with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "accepted mismatched Comp"
+
+let test_empty_log () =
+  let t = Analysis.Critpath.analyze (log_of []) in
+  Alcotest.(check int) "zero serial" 0 (Analysis.Critpath.serial_length t);
+  Alcotest.(check (float 1e-9)) "parallelism 1" 1.0 (Analysis.Critpath.parallelism t)
+
+let test_node_count () =
+  let t =
+    Analysis.Critpath.analyze
+      (log_of [ call 1 1; comp 1 1 6; call 2 1; ret 2 1; comp 1 1 6; ret 1 1 ])
+  in
+  (* root fragment + A occ0 + B occ0 + A occ1 *)
+  Alcotest.(check int) "four nodes" 4 (Analysis.Critpath.node_count t)
+
+let test_schedule_one_core_serializes () =
+  let t =
+    Analysis.Critpath.analyze
+      (log_of [ call 1 1; comp 1 1 10; ret 1 1; call 1 2; comp 1 2 10; ret 1 2 ])
+  in
+  let s = Analysis.Critpath.schedule t ~cores:1 in
+  Alcotest.(check int) "makespan = serial" (Analysis.Critpath.serial_length t)
+    s.Analysis.Critpath.makespan;
+  Alcotest.(check (float 1e-9)) "speedup 1" 1.0 s.Analysis.Critpath.speedup
+
+let test_schedule_parallel_work () =
+  let t =
+    Analysis.Critpath.analyze
+      (log_of [ call 1 1; comp 1 1 10; ret 1 1; call 1 2; comp 1 2 10; ret 1 2 ])
+  in
+  let s = Analysis.Critpath.schedule t ~cores:2 in
+  Alcotest.(check int) "two independent calls overlap" 10 s.Analysis.Critpath.makespan;
+  Alcotest.(check (float 1e-9)) "speedup 2" 2.0 s.Analysis.Critpath.speedup
+
+let test_schedule_respects_deps () =
+  let t =
+    Analysis.Critpath.analyze
+      (log_of
+         [
+           call 1 1; comp 1 1 10; ret 1 1;
+           call 1 2; xfer (1, 1) (1, 2) 8; comp 1 2 10; ret 1 2;
+         ])
+  in
+  let s = Analysis.Critpath.schedule t ~cores:8 in
+  Alcotest.(check int) "dependency serializes" 20 s.Analysis.Critpath.makespan
+
+let test_schedule_bounds () =
+  let t =
+    Analysis.Critpath.analyze
+      (log_of
+         [ call 1 1; comp 1 1 7; ret 1 1; call 2 1; comp 2 1 9; ret 2 1;
+           call 3 1; comp 3 1 5; ret 3 1 ])
+  in
+  List.iter
+    (fun cores ->
+      let s = Analysis.Critpath.schedule t ~cores in
+      Alcotest.(check bool) "makespan >= critical path" true
+        (s.Analysis.Critpath.makespan >= Analysis.Critpath.critical_path_length t);
+      Alcotest.(check bool) "speedup <= cores" true
+        (s.Analysis.Critpath.speedup <= float_of_int cores +. 1e-9);
+      Alcotest.(check bool) "utilization in (0,1]" true
+        (s.Analysis.Critpath.utilization > 0.0 && s.Analysis.Critpath.utilization <= 1.0 +. 1e-9))
+    [ 1; 2; 4; 16 ]
+
+let test_schedule_cores_validated () =
+  let t = Analysis.Critpath.analyze (log_of []) in
+  Alcotest.check_raises "zero cores" (Invalid_argument "Critpath.schedule: cores must be positive")
+    (fun () -> ignore (Analysis.Critpath.schedule t ~cores:0))
+
+let qcheck_parallelism_at_least_one =
+  (* random well-formed single-level logs: parallelism >= 1 *)
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 30)
+        (pair (int_range 1 5) (int_range 0 50)))
+  in
+  QCheck.Test.make ~name:"parallelism >= 1" ~count:100 (QCheck.make gen) (fun calls ->
+      let _, entries =
+        List.fold_left
+          (fun (counts, acc) (ctx, ops) ->
+            let n = (try List.assoc ctx counts with Not_found -> 0) + 1 in
+            let counts = (ctx, n) :: List.remove_assoc ctx counts in
+            (counts, ret ctx n :: comp ctx n ops :: call ctx n :: acc))
+          ([], []) calls
+      in
+      let t = Analysis.Critpath.analyze (log_of (List.rev entries)) in
+      Analysis.Critpath.parallelism t >= 1.0 -. 1e-9
+      && Analysis.Critpath.critical_path_length t <= Analysis.Critpath.serial_length t)
+
+let () =
+  Alcotest.run "critpath"
+    [
+      ( "critpath",
+        [
+          Alcotest.test_case "serial chain" `Quick test_serial_chain;
+          Alcotest.test_case "independent calls parallel" `Quick test_independent_calls_parallel;
+          Alcotest.test_case "non-blocking caller" `Quick test_non_blocking_caller;
+          Alcotest.test_case "data dep orders caller" `Quick test_data_dep_orders_caller;
+          Alcotest.test_case "occurrences ordered" `Quick test_occurrences_within_call_ordered;
+          Alcotest.test_case "path nodes and contexts" `Quick test_path_nodes_and_contexts;
+          Alcotest.test_case "unknown producer ignored" `Quick test_unknown_producer_ignored;
+          Alcotest.test_case "mismatched comp rejected" `Quick test_mismatched_comp_rejected;
+          Alcotest.test_case "empty log" `Quick test_empty_log;
+          Alcotest.test_case "node count" `Quick test_node_count;
+          Alcotest.test_case "schedule one core" `Quick test_schedule_one_core_serializes;
+          Alcotest.test_case "schedule parallel work" `Quick test_schedule_parallel_work;
+          Alcotest.test_case "schedule respects deps" `Quick test_schedule_respects_deps;
+          Alcotest.test_case "schedule bounds" `Quick test_schedule_bounds;
+          Alcotest.test_case "schedule cores validated" `Quick test_schedule_cores_validated;
+          QCheck_alcotest.to_alcotest qcheck_parallelism_at_least_one;
+        ] );
+    ]

@@ -1,0 +1,224 @@
+(* Property-based fuzzing: random guest programs, run under every tool at
+   once, must satisfy the conservation laws that tie the layers together. *)
+
+type action =
+  | Op of int
+  | Fp of int
+  | Read of int * int
+  | Write of int * int
+  | Branch of bool
+  | Call of prog
+
+and prog = {
+  name : string;
+  actions : action list;
+}
+
+let arena = 0x200000
+let arena_size = 4096
+
+let gen_prog =
+  let open QCheck.Gen in
+  let gen_leaf_action =
+    oneof
+      [
+        map (fun n -> Op (1 + n)) (int_range 0 50);
+        map (fun n -> Fp (1 + n)) (int_range 0 50);
+        map2 (fun a s -> Read (arena + min a (arena_size - 8), 1 + s)) (int_range 0 (arena_size - 8)) (int_range 0 7);
+        map2 (fun a s -> Write (arena + min a (arena_size - 8), 1 + s)) (int_range 0 (arena_size - 8)) (int_range 0 7);
+        map (fun b -> Branch b) bool;
+      ]
+  in
+  let gen_name = map (fun i -> Printf.sprintf "fn%d" i) (int_range 0 7) in
+  fix
+    (fun self depth ->
+      let action =
+        if depth = 0 then gen_leaf_action
+        else frequency [ (4, gen_leaf_action); (1, map (fun p -> Call p) (self (depth - 1))) ]
+      in
+      map2 (fun name actions -> { name; actions }) gen_name (list_size (int_range 0 12) action))
+    3
+
+let rec interp m prog =
+  Dbi.Guest.call m prog.name (fun () ->
+      List.iter
+        (function
+          | Op n -> Dbi.Guest.iop m n
+          | Fp n -> Dbi.Guest.flop m n
+          | Read (a, s) -> Dbi.Guest.read m a s
+          | Write (a, s) -> Dbi.Guest.write m a s
+          | Branch b -> Dbi.Guest.branch m b
+          | Call p -> interp m p)
+        prog.actions)
+
+let rec print_prog p =
+  Printf.sprintf "%s[%s]" p.name
+    (String.concat ";"
+       (List.map
+          (function
+            | Op n -> Printf.sprintf "i%d" n
+            | Fp n -> Printf.sprintf "f%d" n
+            | Read (a, s) -> Printf.sprintf "r%d+%d" (a - arena) s
+            | Write (a, s) -> Printf.sprintf "w%d+%d" (a - arena) s
+            | Branch b -> if b then "b1" else "b0"
+            | Call p -> print_prog p)
+          p.actions))
+
+let run_all prog =
+  let sigil = ref None and cg = ref None in
+  let r =
+    Dbi.Runner.run ~call_overhead:0
+      ~tools:
+        [
+          (fun m ->
+            let t =
+              Sigil.Tool.create ~options:Sigil.Options.(with_events (with_reuse default)) m
+            in
+            sigil := Some t;
+            Sigil.Tool.tool t);
+          (fun m ->
+            let t = Callgrind.Tool.create m in
+            cg := Some t;
+            Callgrind.Tool.tool t);
+        ]
+      (fun m -> interp m prog)
+  in
+  (Option.get !sigil, Option.get !cg, r.Dbi.Runner.machine)
+
+let arbitrary = QCheck.make ~print:print_prog gen_prog
+
+let prop_conservation =
+  QCheck.Test.make ~name:"ops/bytes conserved across all layers" ~count:120 arbitrary
+    (fun prog ->
+      let sigil, cg, m = run_all prog in
+      let c = Dbi.Machine.counters m in
+      let profile = Sigil.Tool.profile sigil in
+      let sigil_ops =
+        List.fold_left
+          (fun acc ctx ->
+            let s = Sigil.Profile.stats profile ctx in
+            acc + s.Sigil.Profile.int_ops + s.Sigil.Profile.fp_ops)
+          0 (Sigil.Profile.contexts profile)
+      in
+      let _, read_total = Sigil.Profile.totals profile in
+      let written =
+        List.fold_left
+          (fun acc ctx -> acc + (Sigil.Profile.stats profile ctx).Sigil.Profile.written)
+          0 (Sigil.Profile.contexts profile)
+      in
+      let total_cost = Callgrind.Tool.total cg in
+      sigil_ops = c.Dbi.Machine.int_ops + c.Dbi.Machine.fp_ops
+      && read_total = c.Dbi.Machine.read_bytes
+      && written = c.Dbi.Machine.written_bytes
+      && total_cost.Callgrind.Cost.ir
+         = c.Dbi.Machine.int_ops + c.Dbi.Machine.fp_ops + c.Dbi.Machine.reads
+           + c.Dbi.Machine.writes + c.Dbi.Machine.branches
+      && total_cost.Callgrind.Cost.bc = c.Dbi.Machine.branches)
+
+let prop_unique_bounded =
+  QCheck.Test.make ~name:"unique <= total everywhere" ~count:120 arbitrary (fun prog ->
+      let sigil, _, _ = run_all prog in
+      let profile = Sigil.Tool.profile sigil in
+      let unique, total = Sigil.Profile.totals profile in
+      unique <= total
+      && List.for_all
+           (fun (e : Sigil.Profile.edge) ->
+             e.Sigil.Profile.unique_bytes <= e.Sigil.Profile.bytes && e.Sigil.Profile.bytes > 0)
+           (Sigil.Profile.edges profile))
+
+let prop_event_log_consistent =
+  QCheck.Test.make ~name:"event log balanced and critpath bounded" ~count:120 arbitrary
+    (fun prog ->
+      let sigil, _, m = run_all prog in
+      match Sigil.Tool.event_log sigil with
+      | None -> false
+      | Some log ->
+        let calls, rets =
+          List.fold_left
+            (fun (c, r) -> function
+              | Sigil.Event_log.Call _ -> (c + 1, r)
+              | Sigil.Event_log.Ret _ -> (c, r + 1)
+              | Sigil.Event_log.Comp _ | Sigil.Event_log.Xfer _ -> (c, r))
+            (0, 0) (Sigil.Event_log.entries log)
+        in
+        let cp = Analysis.Critpath.analyze log in
+        let c = Dbi.Machine.counters m in
+        calls = rets
+        && calls = c.Dbi.Machine.calls
+        && Analysis.Critpath.serial_length cp = c.Dbi.Machine.int_ops + c.Dbi.Machine.fp_ops
+        && Analysis.Critpath.critical_path_length cp <= Analysis.Critpath.serial_length cp
+        && Analysis.Critpath.parallelism cp >= 1.0 -. 1e-9)
+
+let prop_cdfg_consistent =
+  QCheck.Test.make ~name:"cdfg inclusive costs and breakevens sane" ~count:80 arbitrary
+    (fun prog ->
+      let sigil, cg, m = run_all prog in
+      let cdfg = Analysis.Cdfg.build ~callgrind:cg sigil in
+      let c = Dbi.Machine.counters m in
+      let root = Analysis.Cdfg.root cdfg in
+      root.Analysis.Cdfg.incl_ops = c.Dbi.Machine.int_ops + c.Dbi.Machine.fp_ops
+      && List.for_all
+           (fun ctx ->
+             let n = Analysis.Cdfg.node cdfg ctx in
+             n.Analysis.Cdfg.incl_input_unique <= n.Analysis.Cdfg.incl_input_total
+             && n.Analysis.Cdfg.incl_output_unique <= n.Analysis.Cdfg.incl_output_total
+             && n.Analysis.Cdfg.self_ops <= n.Analysis.Cdfg.incl_ops
+             &&
+             let s = Analysis.Partition.breakeven cdfg ctx in
+             s >= 1.0 || s = infinity)
+           (Analysis.Cdfg.contexts cdfg))
+
+let prop_reuse_consistent =
+  QCheck.Test.make ~name:"reuse version bins count every touched element" ~count:80 arbitrary
+    (fun prog ->
+      let sigil, _, _ = run_all prog in
+      let bins = Sigil.Reuse.version_bins (Sigil.Tool.reuse sigil) in
+      let elements = bins.Sigil.Reuse.zero + bins.Sigil.Reuse.low + bins.Sigil.Reuse.high in
+      (* every distinct byte a program touches ends as at least one version,
+         and versions cannot outnumber total byte-accesses *)
+      let c = Dbi.Machine.counters (Sigil.Tool.machine sigil) in
+      let touched_bytes = c.Dbi.Machine.read_bytes + c.Dbi.Machine.written_bytes in
+      elements <= max 1 touched_bytes)
+
+let prop_trace_replay_identical =
+  QCheck.Test.make ~name:"trace replay reproduces the profile" ~count:40 arbitrary (fun prog ->
+      let path = Filename.temp_file "fuzz_trace" ".txt" in
+      Fun.protect
+        ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+        (fun () ->
+          let original =
+            Dbi.Trace.record path (fun m ->
+                (* record runs with default overhead; fine, it is recorded *)
+                interp m prog)
+          in
+          let replayed_tool = ref None in
+          let _ =
+            Dbi.Trace.replay
+              ~tools:
+                [
+                  (fun m ->
+                    let t = Sigil.Tool.create m in
+                    replayed_tool := Some t;
+                    Sigil.Tool.tool t);
+                ]
+              path
+          in
+          let replayed = Sigil.Tool.machine (Option.get !replayed_tool) in
+          Dbi.Machine.now original = Dbi.Machine.now replayed
+          && Dbi.Context.count (Dbi.Machine.contexts original)
+             = Dbi.Context.count (Dbi.Machine.contexts replayed)))
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "fuzz",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_conservation;
+            prop_unique_bounded;
+            prop_event_log_consistent;
+            prop_cdfg_consistent;
+            prop_reuse_consistent;
+            prop_trace_replay_identical;
+          ] );
+    ]

@@ -1,0 +1,68 @@
+let tiny =
+  {
+    Cachesim.Hierarchy.l1i = { Cachesim.Cache.size = 512; assoc = 2; line = 64 };
+    l1d = { Cachesim.Cache.size = 512; assoc = 2; line = 64 };
+    ll = { Cachesim.Cache.size = 4096; assoc = 4; line = 64 };
+  }
+
+let test_read_counts () =
+  let h = Cachesim.Hierarchy.create tiny in
+  Cachesim.Hierarchy.data_read h 0 8;
+  let c = Cachesim.Hierarchy.counts h in
+  Alcotest.(check int) "dr" 1 c.Cachesim.Hierarchy.dr;
+  Alcotest.(check int) "cold miss both levels" 1 c.Cachesim.Hierarchy.d1mr;
+  Alcotest.(check int) "ll miss" 1 c.Cachesim.Hierarchy.dlmr;
+  Cachesim.Hierarchy.data_read h 0 8;
+  let c = Cachesim.Hierarchy.counts h in
+  Alcotest.(check int) "second read hits L1" 1 c.Cachesim.Hierarchy.d1mr
+
+let test_ll_catches_l1_eviction () =
+  let h = Cachesim.Hierarchy.create tiny in
+  (* L1D: 512/2/64 = 4 sets; lines at stride 256 collide in set 0 *)
+  Cachesim.Hierarchy.data_read h 0 8;
+  Cachesim.Hierarchy.data_read h 256 8;
+  Cachesim.Hierarchy.data_read h 512 8;
+  (* evicts line 0 from L1, still in LL *)
+  Cachesim.Hierarchy.data_read h 0 8;
+  let c = Cachesim.Hierarchy.counts h in
+  Alcotest.(check int) "4 L1 misses" 4 c.Cachesim.Hierarchy.d1mr;
+  Alcotest.(check int) "only 3 LL misses" 3 c.Cachesim.Hierarchy.dlmr
+
+let test_write_counts () =
+  let h = Cachesim.Hierarchy.create tiny in
+  Cachesim.Hierarchy.data_write h 0 8;
+  Cachesim.Hierarchy.data_write h 0 8;
+  let c = Cachesim.Hierarchy.counts h in
+  Alcotest.(check int) "dw" 2 c.Cachesim.Hierarchy.dw;
+  Alcotest.(check int) "one write miss" 1 c.Cachesim.Hierarchy.d1mw
+
+let test_instruction_path_separate () =
+  let h = Cachesim.Hierarchy.create tiny in
+  Cachesim.Hierarchy.fetch h 0 4;
+  Cachesim.Hierarchy.data_read h 0 4;
+  let c = Cachesim.Hierarchy.counts h in
+  (* the data read misses L1D (separate from L1I) but hits the shared LL *)
+  Alcotest.(check int) "i1 miss" 1 c.Cachesim.Hierarchy.i1mr;
+  Alcotest.(check int) "d1 miss" 1 c.Cachesim.Hierarchy.d1mr;
+  Alcotest.(check int) "LL hit for data" 0 c.Cachesim.Hierarchy.dlmr
+
+let test_counts_arithmetic () =
+  let a = { Cachesim.Hierarchy.zero_counts with Cachesim.Hierarchy.ir = 3; d1mr = 1 } in
+  let b = { Cachesim.Hierarchy.zero_counts with Cachesim.Hierarchy.ir = 4; dlmw = 2 } in
+  let s = Cachesim.Hierarchy.add_counts a b in
+  Alcotest.(check int) "ir adds" 7 s.Cachesim.Hierarchy.ir;
+  Alcotest.(check int) "l1 misses" 1 (Cachesim.Hierarchy.l1_misses s);
+  Alcotest.(check int) "ll misses" 2 (Cachesim.Hierarchy.ll_misses s)
+
+let () =
+  Alcotest.run "hierarchy"
+    [
+      ( "hierarchy",
+        [
+          Alcotest.test_case "read counts" `Quick test_read_counts;
+          Alcotest.test_case "ll catches l1 eviction" `Quick test_ll_catches_l1_eviction;
+          Alcotest.test_case "write counts" `Quick test_write_counts;
+          Alcotest.test_case "instruction path separate" `Quick test_instruction_path_separate;
+          Alcotest.test_case "counts arithmetic" `Quick test_counts_arithmetic;
+        ] );
+    ]

@@ -1,0 +1,150 @@
+(* Callgrind output-format writer + profile comparison. *)
+
+let run_sigil body =
+  let tool = ref None in
+  let _ =
+    Dbi.Runner.run ~call_overhead:0
+      ~tools:
+        [
+          (fun m ->
+            let t = Sigil.Tool.create m in
+            tool := Some t;
+            Sigil.Tool.tool t);
+        ]
+      body
+  in
+  Option.get !tool
+
+let run_callgrind body =
+  let tool = ref None in
+  let _ =
+    Dbi.Runner.run ~call_overhead:0
+      ~tools:
+        [
+          (fun m ->
+            let t = Callgrind.Tool.create m in
+            tool := Some t;
+            Callgrind.Tool.tool t);
+        ]
+      body
+  in
+  Option.get !tool
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let toy ops m =
+  Dbi.Guest.call m "main" (fun () ->
+      Dbi.Guest.call m "worker" (fun () ->
+          Dbi.Guest.iop m ops;
+          Dbi.Guest.read m 0x200000 8))
+
+let render_callgrind tool =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  Callgrind.Output.write tool ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let test_callgrind_format_headers () =
+  let tool = run_callgrind (toy 10) in
+  let out = render_callgrind tool in
+  Alcotest.(check bool) "version" true (contains out "version: 1");
+  Alcotest.(check bool) "events line" true
+    (contains out "events: Ir Dr Dw I1mr D1mr D1mw ILmr DLmr DLmw Bc Bcm");
+  Alcotest.(check bool) "fn record" true (contains out "fn=worker");
+  Alcotest.(check bool) "call record" true (contains out "cfn=worker");
+  Alcotest.(check bool) "calls line" true (contains out "calls=1")
+
+let test_callgrind_format_costs () =
+  let tool = run_callgrind (toy 10) in
+  let out = render_callgrind tool in
+  (* worker self: Ir = 10 ops + 1 read = 11, Dr = 1 *)
+  Alcotest.(check bool) "worker self cost line" true (contains out "11 1 0")
+
+let test_callgrind_context_suffixes () =
+  let tool =
+    run_callgrind (fun m ->
+        Dbi.Guest.call m "main" (fun () ->
+            Dbi.Guest.call m "a" (fun () -> Dbi.Guest.call m "k" (fun () -> Dbi.Guest.iop m 1));
+            Dbi.Guest.call m "b" (fun () -> Dbi.Guest.call m "k" (fun () -> Dbi.Guest.iop m 2))))
+  in
+  let out = render_callgrind tool in
+  Alcotest.(check bool) "first context plain" true (contains out "fn=k\n");
+  Alcotest.(check bool) "second context suffixed" true (contains out "fn=k'ctx1")
+
+let test_callgrind_save () =
+  let tool = run_callgrind (toy 10) in
+  let path = Filename.temp_file "callgrind" ".out" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Callgrind.Output.save tool path;
+      Alcotest.(check bool) "file non-empty" true ((Unix.stat path).Unix.st_size > 100))
+
+let snapshot body = Sigil.Profile_io.snapshot_of_tool (run_sigil body)
+
+let test_compare_same () =
+  let a = snapshot (toy 10) and b = snapshot (toy 10) in
+  let deltas = Analysis.Compare.diff a b in
+  List.iter
+    (fun (d : Analysis.Compare.delta) ->
+      Alcotest.(check bool) ("same " ^ d.Analysis.Compare.path) true
+        (d.Analysis.Compare.status = `Same))
+    deltas;
+  Alcotest.(check (list string)) "nothing changed" []
+    (List.map
+       (fun (d : Analysis.Compare.delta) -> d.Analysis.Compare.path)
+       (Analysis.Compare.changed deltas))
+
+let test_compare_changed () =
+  let a = snapshot (toy 10) and b = snapshot (toy 50) in
+  let changed = Analysis.Compare.changed (Analysis.Compare.diff a b) in
+  match List.find_opt (fun (d : Analysis.Compare.delta) -> d.Analysis.Compare.path = "main/worker") changed with
+  | Some d ->
+    Alcotest.(check int) "ops before" 10 d.Analysis.Compare.ops_before;
+    Alcotest.(check int) "ops after" 50 d.Analysis.Compare.ops_after;
+    Alcotest.(check bool) "status changed" true (d.Analysis.Compare.status = `Changed)
+  | None -> Alcotest.fail "worker delta missing"
+
+let test_compare_added_removed () =
+  let a = snapshot (toy 10) in
+  let b =
+    snapshot (fun m ->
+        Dbi.Guest.call m "main" (fun () ->
+            Dbi.Guest.call m "newcomer" (fun () -> Dbi.Guest.iop m 5)))
+  in
+  let deltas = Analysis.Compare.diff a b in
+  let by_path p =
+    List.find (fun (d : Analysis.Compare.delta) -> d.Analysis.Compare.path = p) deltas
+  in
+  Alcotest.(check bool) "worker removed" true ((by_path "main/worker").Analysis.Compare.status = `Removed);
+  Alcotest.(check bool) "newcomer added" true ((by_path "main/newcomer").Analysis.Compare.status = `Added)
+
+let test_compare_sorted_by_magnitude () =
+  let a = snapshot (toy 10) and b = snapshot (toy 5000) in
+  match Analysis.Compare.changed (Analysis.Compare.diff a b) with
+  | first :: _ ->
+    Alcotest.(check string) "biggest mover first" "main/worker" first.Analysis.Compare.path
+  | [] -> Alcotest.fail "no changes"
+
+let () =
+  Alcotest.run "output_compare"
+    [
+      ( "callgrind_output",
+        [
+          Alcotest.test_case "format headers" `Quick test_callgrind_format_headers;
+          Alcotest.test_case "format costs" `Quick test_callgrind_format_costs;
+          Alcotest.test_case "context suffixes" `Quick test_callgrind_context_suffixes;
+          Alcotest.test_case "save" `Quick test_callgrind_save;
+        ] );
+      ( "compare",
+        [
+          Alcotest.test_case "same" `Quick test_compare_same;
+          Alcotest.test_case "changed" `Quick test_compare_changed;
+          Alcotest.test_case "added and removed" `Quick test_compare_added_removed;
+          Alcotest.test_case "sorted by magnitude" `Quick test_compare_sorted_by_magnitude;
+        ] );
+    ]

@@ -1,0 +1,111 @@
+open Sigil
+
+let test_local_vs_input () =
+  let p = Profile.create () in
+  Profile.record_read p ~producer:1 ~consumer:1 ~unique:true ~bytes:4;
+  Profile.record_read p ~producer:2 ~consumer:1 ~unique:true ~bytes:8;
+  Profile.record_read p ~producer:2 ~consumer:1 ~unique:false ~bytes:2;
+  let s = Profile.stats p 1 in
+  Alcotest.(check int) "local unique" 4 s.Profile.local_unique;
+  Alcotest.(check int) "input unique" 8 s.Profile.input_unique;
+  Alcotest.(check int) "input nonunique" 2 s.Profile.input_nonunique;
+  Alcotest.(check int) "local nonunique" 0 s.Profile.local_nonunique
+
+let test_edges_aggregate () =
+  let p = Profile.create () in
+  Profile.record_read p ~producer:2 ~consumer:1 ~unique:true ~bytes:8;
+  Profile.record_read p ~producer:2 ~consumer:1 ~unique:false ~bytes:8;
+  Profile.record_read p ~producer:3 ~consumer:1 ~unique:true ~bytes:4;
+  (match Profile.edges p with
+  | edges ->
+    Alcotest.(check int) "two edges" 2 (List.length edges);
+    let e21 = List.find (fun (e : Profile.edge) -> e.Profile.src = 2) edges in
+    Alcotest.(check int) "total bytes" 16 e21.Profile.bytes;
+    Alcotest.(check int) "unique bytes" 8 e21.Profile.unique_bytes);
+  Alcotest.(check (pair int int)) "input bytes of 1" (20, 12) (Profile.input_bytes p 1);
+  Alcotest.(check (pair int int)) "output bytes of 2" (16, 8) (Profile.output_bytes p 2)
+
+let test_local_reads_make_no_edges () =
+  let p = Profile.create () in
+  Profile.record_read p ~producer:1 ~consumer:1 ~unique:true ~bytes:100;
+  Alcotest.(check int) "no edges" 0 (List.length (Profile.edges p))
+
+let test_ops_calls_writes () =
+  let p = Profile.create () in
+  Profile.record_ops p ~ctx:4 Dbi.Event.Int_op 7;
+  Profile.record_ops p ~ctx:4 Dbi.Event.Fp_op 3;
+  Profile.record_call p ~ctx:4;
+  Profile.record_call p ~ctx:4;
+  Profile.record_write p ~ctx:4 ~bytes:12;
+  let s = Profile.stats p 4 in
+  Alcotest.(check int) "int ops" 7 s.Profile.int_ops;
+  Alcotest.(check int) "fp ops" 3 s.Profile.fp_ops;
+  Alcotest.(check int) "calls" 2 s.Profile.calls;
+  Alcotest.(check int) "written" 12 s.Profile.written
+
+let test_contexts_listing () =
+  let p = Profile.create () in
+  Profile.record_call p ~ctx:5;
+  Profile.record_call p ~ctx:2;
+  Alcotest.(check (list int)) "ascending" [ 2; 5 ] (Profile.contexts p)
+
+let test_totals () =
+  let p = Profile.create () in
+  Profile.record_read p ~producer:1 ~consumer:2 ~unique:true ~bytes:10;
+  Profile.record_read p ~producer:2 ~consumer:2 ~unique:false ~bytes:5;
+  Alcotest.(check (pair int int)) "unique, total" (10, 15) (Profile.totals p)
+
+let test_edge_cache_consistency () =
+  (* alternate between two edges; the one-entry cache must not misroute *)
+  let p = Profile.create () in
+  for _ = 1 to 10 do
+    Profile.record_read p ~producer:1 ~consumer:3 ~unique:true ~bytes:1;
+    Profile.record_read p ~producer:2 ~consumer:3 ~unique:true ~bytes:1
+  done;
+  let by_src src =
+    List.find (fun (e : Profile.edge) -> e.Profile.src = src) (Profile.edges p)
+  in
+  Alcotest.(check int) "edge 1->3" 10 (by_src 1).Profile.bytes;
+  Alcotest.(check int) "edge 2->3" 10 (by_src 2).Profile.bytes
+
+let qcheck_unique_bounded =
+  QCheck.Test.make ~name:"edge unique <= total" ~count:200
+    QCheck.(list (triple (int_range 0 5) (int_range 0 5) bool))
+    (fun reads ->
+      let p = Profile.create () in
+      List.iter
+        (fun (producer, consumer, unique) ->
+          Profile.record_read p ~producer ~consumer ~unique ~bytes:3)
+        reads;
+      List.for_all
+        (fun (e : Profile.edge) -> e.Profile.unique_bytes <= e.Profile.bytes)
+        (Profile.edges p))
+
+let qcheck_totals_conserved =
+  QCheck.Test.make ~name:"stats sum equals totals" ~count:200
+    QCheck.(list (triple (int_range 0 5) (int_range 0 5) bool))
+    (fun reads ->
+      let p = Profile.create () in
+      List.iter
+        (fun (producer, consumer, unique) ->
+          Profile.record_read p ~producer ~consumer ~unique ~bytes:2)
+        reads;
+      let unique, total = Profile.totals p in
+      unique <= total && total = 2 * List.length reads)
+
+let () =
+  Alcotest.run "profile"
+    [
+      ( "profile",
+        [
+          Alcotest.test_case "local vs input" `Quick test_local_vs_input;
+          Alcotest.test_case "edges aggregate" `Quick test_edges_aggregate;
+          Alcotest.test_case "local reads make no edges" `Quick test_local_reads_make_no_edges;
+          Alcotest.test_case "ops calls writes" `Quick test_ops_calls_writes;
+          Alcotest.test_case "contexts listing" `Quick test_contexts_listing;
+          Alcotest.test_case "totals" `Quick test_totals;
+          Alcotest.test_case "edge cache consistency" `Quick test_edge_cache_consistency;
+          QCheck_alcotest.to_alcotest qcheck_unique_bounded;
+          QCheck_alcotest.to_alcotest qcheck_totals_conserved;
+        ] );
+    ]

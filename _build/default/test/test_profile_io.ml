@@ -1,0 +1,125 @@
+(* Saved profiles must reload to exactly the live run's data. *)
+
+let run_guest body =
+  let tool = ref None in
+  let _ =
+    Dbi.Runner.run ~call_overhead:0
+      ~tools:
+        [
+          (fun m ->
+            let t = Sigil.Tool.create m in
+            tool := Some t;
+            Sigil.Tool.tool t);
+        ]
+      body
+  in
+  Option.get !tool
+
+let toy m =
+  Dbi.Guest.call m "main" (fun () ->
+      let a = Dbi.Guest.alloc m 64 in
+      Dbi.Guest.call m "operator new" (fun () -> Dbi.Guest.iop m 7);
+      Dbi.Guest.call m "producer" (fun () -> Dbi.Guest.write_range m a 32);
+      Dbi.Guest.call m "consumer" (fun () ->
+          Dbi.Guest.read_range m a 32;
+          Dbi.Guest.read_range m a 32;
+          Dbi.Guest.flop m 9))
+
+let with_temp f =
+  let path = Filename.temp_file "sigil_profile" ".txt" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path) (fun () -> f path)
+
+let test_roundtrip_stats () =
+  with_temp (fun path ->
+      let tool = run_guest toy in
+      Sigil.Profile_io.save tool path;
+      let snap = Sigil.Profile_io.load path in
+      let live = Sigil.Profile_io.snapshot_of_tool tool in
+      Alcotest.(check int) "same context count"
+        (List.length (Sigil.Profile_io.contexts live))
+        (List.length (Sigil.Profile_io.contexts snap));
+      List.iter2
+        (fun (a : Sigil.Profile_io.ctx_stats) (b : Sigil.Profile_io.ctx_stats) ->
+          Alcotest.(check bool) "stats equal" true (a = b))
+        (Sigil.Profile_io.contexts live)
+        (Sigil.Profile_io.contexts snap);
+      Alcotest.(check bool) "edges equal" true
+        (Sigil.Profile_io.edges live = Sigil.Profile_io.edges snap);
+      Alcotest.(check (pair int int)) "totals equal" (Sigil.Profile_io.totals live)
+        (Sigil.Profile_io.totals snap))
+
+let test_totals_match_live_profile () =
+  with_temp (fun path ->
+      let tool = run_guest toy in
+      Sigil.Profile_io.save tool path;
+      let snap = Sigil.Profile_io.load path in
+      Alcotest.(check (pair int int)) "totals match Profile.totals"
+        (Sigil.Profile.totals (Sigil.Tool.profile tool))
+        (Sigil.Profile_io.totals snap))
+
+let test_paths_preserved () =
+  with_temp (fun path ->
+      let tool = run_guest toy in
+      Sigil.Profile_io.save tool path;
+      let snap = Sigil.Profile_io.load path in
+      let paths = List.map (fun (s : Sigil.Profile_io.ctx_stats) -> Sigil.Profile_io.path snap s.Sigil.Profile_io.ctx) (Sigil.Profile_io.contexts snap) in
+      List.iter
+        (fun expected ->
+          Alcotest.(check bool) ("has " ^ expected) true (List.mem expected paths))
+        [ "<root>"; "main"; "main/operator new"; "main/producer"; "main/consumer" ])
+
+let test_children () =
+  with_temp (fun path ->
+      let tool = run_guest toy in
+      Sigil.Profile_io.save tool path;
+      let snap = Sigil.Profile_io.load path in
+      let main =
+        List.find
+          (fun (s : Sigil.Profile_io.ctx_stats) -> Sigil.Profile_io.path snap s.Sigil.Profile_io.ctx = "main")
+          (Sigil.Profile_io.contexts snap)
+      in
+      Alcotest.(check int) "main has three children" 3
+        (List.length (Sigil.Profile_io.children snap main.Sigil.Profile_io.ctx)))
+
+let test_workload_roundtrip () =
+  with_temp (fun path ->
+      let w = match Workloads.Suite.find "vips" with Ok w -> w | Error e -> Alcotest.fail e in
+      let tool = run_guest (fun m -> w.Workloads.Workload.run m Workloads.Scale.Simsmall) in
+      Sigil.Profile_io.save tool path;
+      let snap = Sigil.Profile_io.load path in
+      Alcotest.(check (pair int int)) "totals survive"
+        (Sigil.Profile.totals (Sigil.Tool.profile tool))
+        (Sigil.Profile_io.totals snap))
+
+let test_bad_header_rejected () =
+  with_temp (fun path ->
+      let oc = open_out path in
+      output_string oc "not-a-profile\n";
+      close_out oc;
+      match Sigil.Profile_io.load path with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "accepted bad header")
+
+let test_malformed_line_rejected () =
+  with_temp (fun path ->
+      let oc = open_out path in
+      output_string oc "sigil-profile 1\nQ bogus\n";
+      close_out oc;
+      match Sigil.Profile_io.load path with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "accepted malformed line")
+
+let () =
+  Alcotest.run "profile_io"
+    [
+      ( "profile_io",
+        [
+          Alcotest.test_case "roundtrip stats" `Quick test_roundtrip_stats;
+          Alcotest.test_case "totals match live" `Quick test_totals_match_live_profile;
+          Alcotest.test_case "paths preserved" `Quick test_paths_preserved;
+          Alcotest.test_case "children" `Quick test_children;
+          Alcotest.test_case "workload roundtrip" `Quick test_workload_roundtrip;
+          Alcotest.test_case "bad header rejected" `Quick test_bad_header_rejected;
+          Alcotest.test_case "malformed line rejected" `Quick test_malformed_line_rejected;
+        ] );
+    ]

@@ -1,0 +1,190 @@
+open Sigil
+
+(* Collecting sink for episode/version reports. *)
+let collecting () =
+  let episodes = ref [] and versions = ref [] in
+  let sink =
+    {
+      Shadow.on_episode_end =
+        (fun ~reader ~reads ~first ~last -> episodes := (reader, reads, first, last) :: !episodes);
+      on_version_end = (fun ~producer ~nonunique -> versions := (producer, nonunique) :: !versions);
+    }
+  in
+  (sink, episodes, versions)
+
+let addr = 0x200000
+
+let test_producer_tracking () =
+  let t = Shadow.create () in
+  Shadow.write t ~ctx:3 ~call:1 ~now:0 addr;
+  let r = Shadow.read t ~ctx:5 ~call:1 ~now:1 addr in
+  Alcotest.(check int) "producer is writer" 3 r.Shadow.producer;
+  Alcotest.(check bool) "first read unique" true r.Shadow.unique
+
+let test_never_written_is_program_input () =
+  let t = Shadow.create () in
+  let r = Shadow.read t ~ctx:5 ~call:1 ~now:0 addr in
+  Alcotest.(check int) "root producer" Dbi.Context.root r.Shadow.producer;
+  Alcotest.(check bool) "unique" true r.Shadow.unique
+
+let test_nonunique_same_call () =
+  let t = Shadow.create () in
+  Shadow.write t ~ctx:1 ~call:1 ~now:0 addr;
+  let _ = Shadow.read t ~ctx:2 ~call:1 ~now:1 addr in
+  let r2 = Shadow.read t ~ctx:2 ~call:1 ~now:2 addr in
+  Alcotest.(check bool) "same-call re-read non-unique" false r2.Shadow.unique;
+  (* a later call of the same function must re-fetch: unique again *)
+  let r3 = Shadow.read t ~ctx:2 ~call:2 ~now:3 addr in
+  Alcotest.(check bool) "cross-call read unique" true r3.Shadow.unique
+
+let test_reader_alternation_limitation () =
+  (* the paper's single last-reader pointer: f,g,f counts the third read
+     as unique again *)
+  let t = Shadow.create () in
+  Shadow.write t ~ctx:1 ~call:1 ~now:0 addr;
+  let _ = Shadow.read t ~ctx:2 ~call:1 ~now:1 addr in
+  let _ = Shadow.read t ~ctx:3 ~call:1 ~now:2 addr in
+  let r = Shadow.read t ~ctx:2 ~call:1 ~now:3 addr in
+  Alcotest.(check bool) "f again counts unique" true r.Shadow.unique
+
+let test_write_resets_uniqueness () =
+  let t = Shadow.create () in
+  Shadow.write t ~ctx:1 ~call:1 ~now:0 addr;
+  let _ = Shadow.read t ~ctx:2 ~call:1 ~now:1 addr in
+  Shadow.write t ~ctx:1 ~call:2 ~now:2 addr;
+  let r = Shadow.read t ~ctx:2 ~call:1 ~now:3 addr in
+  Alcotest.(check bool) "new version, unique again" true r.Shadow.unique
+
+let test_producer_call_tracked () =
+  let t = Shadow.create ~track_writer_call:true () in
+  Shadow.write t ~ctx:1 ~call:7 ~now:0 addr;
+  let r = Shadow.read t ~ctx:2 ~call:1 ~now:1 addr in
+  Alcotest.(check int) "producer call" 7 r.Shadow.producer_call
+
+let test_episode_reporting () =
+  let sink, episodes, _ = collecting () in
+  let t = Shadow.create ~reuse:true ~sink () in
+  Shadow.write t ~ctx:1 ~call:1 ~now:0 addr;
+  let _ = Shadow.read t ~ctx:2 ~call:1 ~now:10 addr in
+  let _ = Shadow.read t ~ctx:2 ~call:1 ~now:25 addr in
+  let _ = Shadow.read t ~ctx:2 ~call:1 ~now:40 addr in
+  (* a different call of the same fn closes the episode *)
+  let _ = Shadow.read t ~ctx:2 ~call:2 ~now:50 addr in
+  Alcotest.(check (list (pair int (pair int (pair int int)))))
+    "episode: reader 2, 3 reads, lifetime 10..40"
+    [ (2, (3, (10, 40))) ]
+    (List.map (fun (r, n, f, l) -> (r, (n, (f, l)))) !episodes)
+
+let test_version_reporting_on_overwrite () =
+  let sink, _, versions = collecting () in
+  let t = Shadow.create ~reuse:true ~sink () in
+  Shadow.write t ~ctx:1 ~call:1 ~now:0 addr;
+  let _ = Shadow.read t ~ctx:2 ~call:1 ~now:1 addr in
+  let _ = Shadow.read t ~ctx:2 ~call:1 ~now:2 addr in
+  Shadow.write t ~ctx:1 ~call:2 ~now:3 addr;
+  Alcotest.(check (list (pair int int))) "version: producer 1, reuse 1" [ (1, 1) ] !versions
+
+let test_flush_reports_everything () =
+  let sink, episodes, versions = collecting () in
+  let t = Shadow.create ~reuse:true ~sink () in
+  Shadow.write t ~ctx:1 ~call:1 ~now:0 addr;
+  let _ = Shadow.read t ~ctx:2 ~call:1 ~now:1 addr in
+  Shadow.flush t;
+  Alcotest.(check int) "one episode" 1 (List.length !episodes);
+  Alcotest.(check int) "one version" 1 (List.length !versions);
+  (* flush is terminal for that byte's state *)
+  let r = Shadow.read t ~ctx:2 ~call:1 ~now:5 addr in
+  Alcotest.(check int) "producer forgotten" Dbi.Context.root r.Shadow.producer
+
+let test_input_version_reported () =
+  let sink, _, versions = collecting () in
+  let t = Shadow.create ~reuse:true ~sink () in
+  let _ = Shadow.read t ~ctx:2 ~call:1 ~now:1 addr in
+  Shadow.flush t;
+  Alcotest.(check (list (pair int int)))
+    "program input producer root" [ (Dbi.Context.root, 0) ] !versions
+
+let test_fifo_eviction () =
+  let t = Shadow.create ~max_chunks:2 () in
+  let chunk = Shadow.chunk_bytes in
+  Shadow.write t ~ctx:1 ~call:1 ~now:0 0;
+  Shadow.write t ~ctx:1 ~call:1 ~now:0 chunk;
+  Alcotest.(check int) "two live" 2 (Shadow.chunks_live t);
+  Shadow.write t ~ctx:1 ~call:1 ~now:0 (2 * chunk);
+  Alcotest.(check int) "still two live" 2 (Shadow.chunks_live t);
+  Alcotest.(check int) "one eviction" 1 (Shadow.evictions t);
+  (* the oldest chunk was dropped: its producer is forgotten *)
+  Alcotest.(check (option int)) "producer gone" None (Shadow.producer_of t 0);
+  Alcotest.(check (option int)) "recent survives" (Some 1) (Shadow.producer_of t chunk)
+
+let test_eviction_flushes_stats () =
+  let sink, episodes, _ = collecting () in
+  let t = Shadow.create ~reuse:true ~max_chunks:1 ~sink () in
+  let _ = Shadow.read t ~ctx:2 ~call:1 ~now:1 0 in
+  (* touching a second chunk evicts the first, closing its episode *)
+  let _ = Shadow.read t ~ctx:2 ~call:1 ~now:2 Shadow.chunk_bytes in
+  Alcotest.(check int) "episode flushed by eviction" 1 (List.length !episodes)
+
+let test_footprint_accounting () =
+  let t = Shadow.create () in
+  let base = Shadow.footprint_bytes t in
+  Shadow.write t ~ctx:1 ~call:1 ~now:0 addr;
+  let one = Shadow.footprint_bytes t in
+  Alcotest.(check bool) "grows with chunks" true (one > base);
+  let reuse = Shadow.create ~reuse:true () in
+  Shadow.write reuse ~ctx:1 ~call:1 ~now:0 addr;
+  Alcotest.(check bool) "reuse mode costs more" true
+    (Shadow.footprint_bytes reuse - base > one - base);
+  Alcotest.(check int) "peak equals live here" (Shadow.footprint_bytes t)
+    (Shadow.footprint_peak_bytes t)
+
+let test_address_range_checked () =
+  let t = Shadow.create () in
+  Alcotest.check_raises "out of range" (Invalid_argument "Shadow: address out of range")
+    (fun () -> ignore (Shadow.read t ~ctx:1 ~call:1 ~now:0 Shadow.max_address));
+  Alcotest.check_raises "negative" (Invalid_argument "Shadow: address out of range") (fun () ->
+      Shadow.write t ~ctx:1 ~call:1 ~now:0 (-1))
+
+let qcheck_last_writer_wins =
+  QCheck.Test.make ~name:"producer is always the last writer" ~count:200
+    QCheck.(list (pair (int_range 1 20) (int_range 0 4095)))
+    (fun writes ->
+      let t = Shadow.create () in
+      let last = Hashtbl.create 16 in
+      List.iter
+        (fun (ctx, a) ->
+          Shadow.write t ~ctx ~call:1 ~now:0 a;
+          Hashtbl.replace last a ctx)
+        writes;
+      Hashtbl.fold
+        (fun a ctx ok ->
+          ok
+          &&
+          let r = Shadow.read t ~ctx:99 ~call:1 ~now:1 a in
+          r.Shadow.producer = ctx)
+        last true)
+
+let () =
+  Alcotest.run "shadow"
+    [
+      ( "shadow",
+        [
+          Alcotest.test_case "producer tracking" `Quick test_producer_tracking;
+          Alcotest.test_case "never written = program input" `Quick
+            test_never_written_is_program_input;
+          Alcotest.test_case "nonunique same call" `Quick test_nonunique_same_call;
+          Alcotest.test_case "reader alternation limitation" `Quick
+            test_reader_alternation_limitation;
+          Alcotest.test_case "write resets uniqueness" `Quick test_write_resets_uniqueness;
+          Alcotest.test_case "producer call tracked" `Quick test_producer_call_tracked;
+          Alcotest.test_case "episode reporting" `Quick test_episode_reporting;
+          Alcotest.test_case "version on overwrite" `Quick test_version_reporting_on_overwrite;
+          Alcotest.test_case "flush reports everything" `Quick test_flush_reports_everything;
+          Alcotest.test_case "input version reported" `Quick test_input_version_reported;
+          Alcotest.test_case "fifo eviction" `Quick test_fifo_eviction;
+          Alcotest.test_case "eviction flushes stats" `Quick test_eviction_flushes_stats;
+          Alcotest.test_case "footprint accounting" `Quick test_footprint_accounting;
+          Alcotest.test_case "address range checked" `Quick test_address_range_checked;
+          QCheck_alcotest.to_alcotest qcheck_last_writer_wins;
+        ] );
+    ]

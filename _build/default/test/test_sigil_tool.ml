@@ -1,0 +1,239 @@
+(* End-to-end checks: a toy guest program with hand-computed communication,
+   run under the full Sigil tool. Call overhead is disabled so operation
+   counts are exact. *)
+
+let run_guest ?(options = Sigil.Options.default) body =
+  let tool = ref None in
+  let r =
+    Dbi.Runner.run ~call_overhead:0
+      ~tools:
+        [
+          (fun m ->
+            let t = Sigil.Tool.create ~options m in
+            tool := Some t;
+            Sigil.Tool.tool t);
+        ]
+      body
+  in
+  (Option.get !tool, r.Dbi.Runner.machine)
+
+let find_ctx m path_wanted =
+  let contexts = Dbi.Machine.contexts m in
+  let symbols = Dbi.Machine.symbols m in
+  let found = ref None in
+  Dbi.Context.iter contexts (fun ctx ->
+      if Dbi.Context.path contexts symbols ctx = path_wanted then found := Some ctx);
+  match !found with
+  | Some ctx -> ctx
+  | None -> Alcotest.failf "no context %s" path_wanted
+
+(* main writes 8 bytes, producer writes 16 more; consumer reads all 24,
+   re-reads main's 8, and writes + reads back 8 of its own. *)
+let toy m =
+  Dbi.Guest.call m "main" (fun () ->
+      let a = Dbi.Guest.alloc m 64 in
+      Dbi.Guest.write m a 8;
+      Dbi.Guest.call m "producer" (fun () ->
+          Dbi.Guest.iop m 5;
+          Dbi.Guest.write m (a + 8) 8;
+          Dbi.Guest.write m (a + 16) 8);
+      Dbi.Guest.call m "consumer" (fun () ->
+          Dbi.Guest.read m a 8;
+          Dbi.Guest.read m (a + 8) 8;
+          Dbi.Guest.read m (a + 16) 8;
+          Dbi.Guest.read m a 8;
+          (* re-read: non-unique *)
+          Dbi.Guest.flop m 7;
+          Dbi.Guest.write m (a + 24) 8;
+          Dbi.Guest.read m (a + 24) 8 (* local *)))
+
+let test_classification_exact () =
+  let tool, m = run_guest toy in
+  let p = Sigil.Tool.profile tool in
+  let s = Sigil.Profile.stats p (find_ctx m "main/consumer") in
+  Alcotest.(check int) "input unique" 24 s.Sigil.Profile.input_unique;
+  Alcotest.(check int) "input nonunique" 8 s.Sigil.Profile.input_nonunique;
+  Alcotest.(check int) "local unique" 8 s.Sigil.Profile.local_unique;
+  Alcotest.(check int) "local nonunique" 0 s.Sigil.Profile.local_nonunique;
+  Alcotest.(check int) "written" 8 s.Sigil.Profile.written;
+  Alcotest.(check int) "fp ops" 7 s.Sigil.Profile.fp_ops;
+  let sp = Sigil.Profile.stats p (find_ctx m "main/producer") in
+  Alcotest.(check int) "producer writes" 16 sp.Sigil.Profile.written;
+  Alcotest.(check int) "producer int ops" 5 sp.Sigil.Profile.int_ops
+
+let test_edges_exact () =
+  let tool, m = run_guest toy in
+  let p = Sigil.Tool.profile tool in
+  let consumer = find_ctx m "main/consumer" in
+  let producer = find_ctx m "main/producer" in
+  let main = find_ctx m "main" in
+  let edge src =
+    List.find (fun (e : Sigil.Profile.edge) -> e.Sigil.Profile.src = src)
+      (Sigil.Profile.in_edges p consumer)
+  in
+  Alcotest.(check (pair int int)) "main->consumer (total, unique)" (16, 8)
+    ((edge main).Sigil.Profile.bytes, (edge main).Sigil.Profile.unique_bytes);
+  Alcotest.(check (pair int int)) "producer->consumer" (16, 16)
+    ((edge producer).Sigil.Profile.bytes, (edge producer).Sigil.Profile.unique_bytes);
+  Alcotest.(check (pair int int)) "producer output" (16, 16)
+    (Sigil.Profile.output_bytes p producer)
+
+let test_reuse_bins_exact () =
+  let tool, _ = run_guest ~options:Sigil.Options.(with_reuse default) toy in
+  let bins = Sigil.Reuse.version_bins (Sigil.Tool.reuse tool) in
+  (* 16 producer bytes + 8 local bytes read once; 8 main bytes re-read *)
+  Alcotest.(check int) "zero reuse" 24 bins.Sigil.Reuse.zero;
+  Alcotest.(check int) "low reuse" 8 bins.Sigil.Reuse.low;
+  Alcotest.(check int) "high reuse" 0 bins.Sigil.Reuse.high
+
+let test_event_log_structure () =
+  let tool, m = run_guest ~options:Sigil.Options.(with_events default) toy in
+  let log =
+    match Sigil.Tool.event_log tool with
+    | Some log -> log
+    | None -> Alcotest.fail "no event log"
+  in
+  let consumer = find_ctx m "main/consumer" in
+  let producer = find_ctx m "main/producer" in
+  let main = find_ctx m "main" in
+  let xfers =
+    List.filter_map
+      (function
+        | Sigil.Event_log.Xfer { src_ctx; dst_ctx; bytes; unique_bytes; _ }
+          when dst_ctx = consumer ->
+          Some (src_ctx, bytes, unique_bytes)
+        | Sigil.Event_log.Xfer _ | Sigil.Event_log.Call _ | Sigil.Event_log.Ret _
+        | Sigil.Event_log.Comp _ ->
+          None)
+      (Sigil.Event_log.entries log)
+  in
+  Alcotest.(check int) "two transfer edges into consumer" 2 (List.length xfers);
+  Alcotest.(check bool) "from main" true (List.mem (main, 16, 8) xfers);
+  Alcotest.(check bool) "from producer" true (List.mem (producer, 16, 16) xfers);
+  (* calls and returns are balanced *)
+  let calls, rets =
+    List.fold_left
+      (fun (c, r) -> function
+        | Sigil.Event_log.Call _ -> (c + 1, r)
+        | Sigil.Event_log.Ret _ -> (c, r + 1)
+        | Sigil.Event_log.Comp _ | Sigil.Event_log.Xfer _ -> (c, r))
+      (0, 0) (Sigil.Event_log.entries log)
+  in
+  Alcotest.(check int) "balanced" calls rets;
+  Alcotest.(check int) "three calls" 3 calls
+
+let test_same_function_cross_call_edge () =
+  (* a function consuming data from an earlier call of itself produces a
+     dependency edge in the event log but local bytes in the profile *)
+  let body m =
+    Dbi.Guest.call m "main" (fun () ->
+        let a = Dbi.Guest.alloc m 16 in
+        Dbi.Guest.call m "iter" (fun () -> Dbi.Guest.write m a 8);
+        Dbi.Guest.call m "iter" (fun () ->
+            Dbi.Guest.read m a 8;
+            Dbi.Guest.write m a 8))
+  in
+  let tool, m = run_guest ~options:Sigil.Options.(with_events default) body in
+  let iter_ctx = find_ctx m "main/iter" in
+  let p = Sigil.Tool.profile tool in
+  let s = Sigil.Profile.stats p iter_ctx in
+  Alcotest.(check int) "classified local" 8 s.Sigil.Profile.local_unique;
+  let log = Option.get (Sigil.Tool.event_log tool) in
+  let self_edges =
+    List.filter
+      (function
+        | Sigil.Event_log.Xfer { src_ctx; dst_ctx; src_call; dst_call; _ } ->
+          src_ctx = iter_ctx && dst_ctx = iter_ctx && src_call <> dst_call
+        | Sigil.Event_log.Call _ | Sigil.Event_log.Ret _ | Sigil.Event_log.Comp _ -> false)
+      (Sigil.Event_log.entries log)
+  in
+  Alcotest.(check int) "cross-call self edge" 1 (List.length self_edges)
+
+let test_line_mode () =
+  let body m =
+    Dbi.Guest.call m "main" (fun () ->
+        let a = Dbi.Guest.alloc m 256 in
+        for _ = 1 to 3 do
+          Dbi.Guest.read m a 8
+        done;
+        Dbi.Guest.read m (a + 128) 8)
+  in
+  let tool, _ = run_guest ~options:Sigil.Options.(with_line_size default 64) body in
+  match Sigil.Tool.line_shadow tool with
+  | None -> Alcotest.fail "line mode not active"
+  | Some line ->
+    Alcotest.(check int) "two lines touched" 2 (Sigil.Line_shadow.lines line);
+    (* line mode replaces function aggregation *)
+    Alcotest.(check (list int)) "no byte profile" []
+      (Sigil.Profile.contexts (Sigil.Tool.profile tool))
+
+let test_memory_limit_accuracy_loss () =
+  let body m =
+    Dbi.Guest.call m "main" (fun () ->
+        let chunk = Sigil.Shadow.chunk_bytes in
+        let a = Dbi.Guest.alloc m (4 * chunk) in
+        Dbi.Guest.call m "producer" (fun () -> Dbi.Guest.write m a 8);
+        (* touch three more chunks to push the first out *)
+        Dbi.Guest.call m "toucher" (fun () ->
+            Dbi.Guest.write m (a + chunk) 8;
+            Dbi.Guest.write m (a + (2 * chunk)) 8;
+            Dbi.Guest.write m (a + (3 * chunk)) 8);
+        Dbi.Guest.call m "consumer" (fun () -> Dbi.Guest.read m a 8))
+  in
+  let tool, m = run_guest ~options:Sigil.Options.(with_max_chunks default 2) body in
+  Alcotest.(check bool) "evictions happened" true (Sigil.Tool.shadow_evictions tool > 0);
+  (* the read of the evicted byte is misattributed to program input *)
+  let p = Sigil.Tool.profile tool in
+  let consumer = find_ctx m "main/consumer" in
+  match Sigil.Profile.in_edges p consumer with
+  | [ e ] -> Alcotest.(check int) "producer forgotten" Dbi.Context.root e.Sigil.Profile.src
+  | edges -> Alcotest.failf "expected one edge, got %d" (List.length edges)
+
+let test_report_rows () =
+  let tool, _ = run_guest toy in
+  let rows = Sigil.Report.rows tool in
+  Alcotest.(check bool) "has rows" true (List.length rows >= 3);
+  let consumer = List.find (fun r -> r.Sigil.Report.path = "main/consumer") rows in
+  Alcotest.(check int) "row input unique" 24 consumer.Sigil.Report.input_unique;
+  Alcotest.(check int) "row input total" 32 consumer.Sigil.Report.input_total
+
+let test_stripped_run_still_works () =
+  let tool = ref None in
+  let r =
+    Dbi.Runner.run ~stripped:true ~call_overhead:0
+      ~tools:
+        [
+          (fun m ->
+            let t = Sigil.Tool.create m in
+            tool := Some t;
+            Sigil.Tool.tool t);
+        ]
+      toy
+  in
+  let rows = Sigil.Report.rows (Option.get !tool) in
+  Alcotest.(check bool) "rows exist" true (List.length rows >= 3);
+  List.iter
+    (fun row ->
+      Alcotest.(check bool) "names degraded" true
+        (row.Sigil.Report.path = "<root>"
+        || String.length row.Sigil.Report.path >= 4
+           && String.sub row.Sigil.Report.path 0 4 = "???:"))
+    rows;
+  ignore r
+
+let () =
+  Alcotest.run "sigil_tool"
+    [
+      ( "sigil_tool",
+        [
+          Alcotest.test_case "classification exact" `Quick test_classification_exact;
+          Alcotest.test_case "edges exact" `Quick test_edges_exact;
+          Alcotest.test_case "reuse bins exact" `Quick test_reuse_bins_exact;
+          Alcotest.test_case "event log structure" `Quick test_event_log_structure;
+          Alcotest.test_case "same-fn cross-call edge" `Quick test_same_function_cross_call_edge;
+          Alcotest.test_case "line mode" `Quick test_line_mode;
+          Alcotest.test_case "memory limit accuracy loss" `Quick test_memory_limit_accuracy_loss;
+          Alcotest.test_case "report rows" `Quick test_report_rows;
+          Alcotest.test_case "stripped run still works" `Quick test_stripped_run_still_works;
+        ] );
+    ]

@@ -1,0 +1,120 @@
+(* Trace record/replay: the replayed machine must be indistinguishable from
+   the original for every tool. *)
+
+let small_guest m =
+  Dbi.Guest.call m "main" (fun () ->
+      let a = Dbi.Guest.alloc m 128 in
+      Dbi.Guest.call m "operator new" (fun () ->
+          Dbi.Guest.iop m 10;
+          Dbi.Guest.write m a 8);
+      Dbi.Guest.call m "producer" (fun () ->
+          Dbi.Guest.flop m 20;
+          Dbi.Guest.write_range m a 64);
+      Dbi.Guest.call m "consumer" (fun () ->
+          Dbi.Guest.read_range m a 64;
+          Dbi.Guest.branch m true);
+      Dbi.Guest.syscall m "write" ~reads:[ (a, 16) ] ~writes:[])
+
+let with_temp f =
+  let path = Filename.temp_file "dbi_trace" ".txt" in
+  let finally () = if Sys.file_exists path then Sys.remove path in
+  Fun.protect ~finally (fun () -> f path)
+
+let test_counters_reproduced () =
+  with_temp (fun path ->
+      let original = Dbi.Trace.record path small_guest in
+      let replayed = Dbi.Trace.replay ~tools:[] path in
+      let a = Dbi.Machine.counters original and b = Dbi.Machine.counters replayed in
+      Alcotest.(check int) "int ops" a.Dbi.Machine.int_ops b.Dbi.Machine.int_ops;
+      Alcotest.(check int) "fp ops" a.Dbi.Machine.fp_ops b.Dbi.Machine.fp_ops;
+      Alcotest.(check int) "reads" a.Dbi.Machine.reads b.Dbi.Machine.reads;
+      Alcotest.(check int) "writes" a.Dbi.Machine.writes b.Dbi.Machine.writes;
+      Alcotest.(check int) "read bytes" a.Dbi.Machine.read_bytes b.Dbi.Machine.read_bytes;
+      Alcotest.(check int) "branches" a.Dbi.Machine.branches b.Dbi.Machine.branches;
+      Alcotest.(check int) "calls" a.Dbi.Machine.calls b.Dbi.Machine.calls;
+      Alcotest.(check int) "clock" (Dbi.Machine.now original) (Dbi.Machine.now replayed))
+
+let test_sigil_profile_reproduced () =
+  with_temp (fun path ->
+      (* sigil attached live vs sigil driven from the trace *)
+      let live = ref None in
+      let _ =
+        Dbi.Runner.run
+          ~tools:
+            [
+              Dbi.Trace.recorder (open_out path);
+              (fun m ->
+                let t = Sigil.Tool.create m in
+                live := Some t;
+                Sigil.Tool.tool t);
+            ]
+          small_guest
+      in
+      let replayed = ref None in
+      let _ =
+        Dbi.Trace.replay
+          ~tools:
+            [
+              (fun m ->
+                let t = Sigil.Tool.create m in
+                replayed := Some t;
+                Sigil.Tool.tool t);
+            ]
+          path
+      in
+      let totals t = Sigil.Profile.totals (Sigil.Tool.profile (Option.get t)) in
+      Alcotest.(check (pair int int)) "profile totals identical" (totals !live) (totals !replayed);
+      let edge_count t =
+        List.length (Sigil.Profile.edges (Sigil.Tool.profile (Option.get t)))
+      in
+      Alcotest.(check int) "edge count identical" (edge_count !live) (edge_count !replayed))
+
+let test_workload_trace_roundtrip () =
+  with_temp (fun path ->
+      let w =
+        match Workloads.Suite.find "swaptions" with Ok w -> w | Error e -> Alcotest.fail e
+      in
+      let original =
+        Dbi.Trace.record path (fun m -> w.Workloads.Workload.run m Workloads.Scale.Simsmall)
+      in
+      let replayed = Dbi.Trace.replay ~tools:[] path in
+      Alcotest.(check int) "clock identical" (Dbi.Machine.now original)
+        (Dbi.Machine.now replayed);
+      Alcotest.(check int) "context tree identical"
+        (Dbi.Context.count (Dbi.Machine.contexts original))
+        (Dbi.Context.count (Dbi.Machine.contexts replayed)))
+
+let test_spaced_names_roundtrip () =
+  let machine =
+    Dbi.Trace.replay_events ~tools:[] [ "E main"; "E operator new"; "I 5"; "L"; "L" ]
+  in
+  let found = ref false in
+  Dbi.Symbol.iter (Dbi.Machine.symbols machine) (fun _ n ->
+      if n = "operator new" then found := true);
+  Alcotest.(check bool) "name with space preserved" true !found
+
+let test_malformed_rejected () =
+  List.iter
+    (fun line ->
+      match Dbi.Trace.replay_events ~tools:[] [ "E main"; line ] with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.failf "accepted malformed %S" line)
+    [ "Z 1"; "R 1"; "I x"; "B 2 3"; "E" ]
+
+let test_blank_lines_ignored () =
+  let machine = Dbi.Trace.replay_events ~tools:[] [ ""; "E main"; "  "; "I 3"; "L"; "" ] in
+  Alcotest.(check int) "ops counted" 3 (Dbi.Machine.counters machine).Dbi.Machine.int_ops
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "counters reproduced" `Quick test_counters_reproduced;
+          Alcotest.test_case "sigil profile reproduced" `Quick test_sigil_profile_reproduced;
+          Alcotest.test_case "workload trace roundtrip" `Quick test_workload_trace_roundtrip;
+          Alcotest.test_case "spaced names roundtrip" `Quick test_spaced_names_roundtrip;
+          Alcotest.test_case "malformed rejected" `Quick test_malformed_rejected;
+          Alcotest.test_case "blank lines ignored" `Quick test_blank_lines_ignored;
+        ] );
+    ]
