@@ -68,8 +68,9 @@ let callgrind_run name scale =
 let native_time name scale =
   Driver.time_native (workload name) scale
 
-(* Bechamel wrapper: run a group of microbenchmarks and print the OLS
-   estimate (ns per run) for each. *)
+(* Bechamel wrapper: run a group of microbenchmarks, print the OLS
+   estimate (ns per run) for each, and return the [(name, ns)] rows so
+   callers can feed BENCH_shadow.json or compute ratios. *)
 let microbench ~name tests =
   let test = Test.make_grouped ~name tests in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None ~stabilize:false () in
@@ -87,8 +88,43 @@ let microbench ~name tests =
         (key, ns) :: acc)
       results []
   in
-  List.iter
-    (fun (key, ns) -> Printf.printf "  %-50s %10.1f ns/op\n" key ns)
-    (List.sort compare rows)
+  let rows = List.sort compare rows in
+  List.iter (fun (key, ns) -> Printf.printf "  %-50s %10.1f ns/op\n" key ns) rows;
+  rows
+
+(* [ns_of rows leaf] finds the grouped row whose path ends in [leaf]. *)
+let ns_of rows leaf =
+  match
+    List.find_opt
+      (fun (key, _) ->
+        let n = String.length key and l = String.length leaf in
+        n >= l && String.sub key (n - l) l = leaf)
+      rows
+  with
+  | Some (_, ns) -> ns
+  | None -> nan
+
+let events_per_sec ns = if Float.is_nan ns || ns <= 0.0 then 0.0 else 1e9 /. ns
+
+(* Machine-readable perf trajectory: sections push (key, json value)
+   pairs; [write_bench_json] renders a flat one-object file. *)
+let json_fields : (string * string) list ref = ref []
+let json_num v = Printf.sprintf "%.1f" v
+let json_add key value = json_fields := (key, value) :: !json_fields
+
+let json_add_obj key fields =
+  json_add key
+    ("{"
+    ^ String.concat ", "
+        (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields)
+    ^ "}")
+
+let write_bench_json path =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n%s\n}\n"
+    (String.concat ",\n"
+       (List.rev_map (fun (k, v) -> Printf.sprintf "  %S: %s" k v) !json_fields));
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
 
 let pf = Printf.printf

@@ -105,6 +105,10 @@ let fig4_5_6 () =
        (List.map2
           (fun (n, s) (_, m) -> [ n; Printf.sprintf "%.1f" s; Printf.sprintf "%.1f" m ])
           fp_small fp_medium));
+  json_add_obj "fig6_footprint_peak_mb_simsmall"
+    (List.map (fun (n, mb) -> (n, Printf.sprintf "%.3f" mb)) fp_small);
+  json_add_obj "fig6_footprint_peak_mb_simmedium"
+    (List.map (fun (n, mb) -> (n, Printf.sprintf "%.3f" mb)) fp_medium);
   let evictions =
     Sigil.Tool.shadow_evictions (Driver.sigil (paired_run "dedup" medium))
   in
@@ -279,6 +283,14 @@ let microbenches () =
   in
   let native_m = mk_machine [] in
   let sigil_m = mk_machine [ (fun m -> Sigil.Tool.tool (Sigil.Tool.create m)) ] in
+  let sigil_perbyte_m =
+    mk_machine
+      [
+        (fun m ->
+          Sigil.Tool.tool
+            (Sigil.Tool.create ~options:Sigil.Options.(with_per_byte_shadow default) m));
+      ]
+  in
   let sigil_reuse_m =
     mk_machine
       [ (fun m -> Sigil.Tool.tool (Sigil.Tool.create ~options:Sigil.Options.(with_reuse default) m)) ]
@@ -292,32 +304,45 @@ let microbenches () =
     Dbi.Machine.read m addr 8
   in
   pf "fig4/fig5 (8-byte write+read event, per tool):\n";
-  microbench ~name:"fig4_slowdown"
-    [
-      Test.make ~name:"native" (Staged.stage (rw native_m));
-      Test.make ~name:"callgrind" (Staged.stage (rw cg_m));
-      Test.make ~name:"sigil" (Staged.stage (rw sigil_m));
-      Test.make ~name:"sigil+reuse" (Staged.stage (rw sigil_reuse_m));
-    ];
+  let fig4_rows =
+    microbench ~name:"fig4_slowdown"
+      [
+        Test.make ~name:"native" (Staged.stage (rw native_m));
+        Test.make ~name:"callgrind" (Staged.stage (rw cg_m));
+        Test.make ~name:"sigil" (Staged.stage (rw sigil_m));
+        Test.make ~name:"sigil-perbyte" (Staged.stage (rw sigil_perbyte_m));
+        Test.make ~name:"sigil+reuse" (Staged.stage (rw sigil_reuse_m));
+      ]
+  in
+  let sigil_ns = ns_of fig4_rows "sigil" and perbyte_ns = ns_of fig4_rows "sigil-perbyte" in
+  pf "  range-batched sigil vs per-byte baseline: %.2fx\n" (perbyte_ns /. sigil_ns);
+  json_add_obj "fig4_events_per_sec"
+    (List.map
+       (fun leaf -> (leaf, json_num (events_per_sec (ns_of fig4_rows leaf))))
+       [ "native"; "callgrind"; "sigil"; "sigil-perbyte"; "sigil+reuse" ]);
+  json_add "fig4_range_speedup_vs_per_byte" (Printf.sprintf "%.2f" (perbyte_ns /. sigil_ns));
 
   (* fig 6: shadow chunk allocation *)
   let shadow = Sigil.Shadow.create () in
   let chunk_counter = ref 0 in
   pf "fig6 (shadow memory):\n";
-  microbench ~name:"fig6_memory"
-    [
-      Test.make ~name:"chunk cold touch"
-        (Staged.stage (fun () ->
-             chunk_counter := (!chunk_counter + 1) land 0xFFFF;
-             Sigil.Shadow.write shadow ~ctx:1 ~call:1 ~now:0 (!chunk_counter * Sigil.Shadow.chunk_bytes)));
-      Test.make ~name:"byte re-touch"
-        (Staged.stage (fun () -> Sigil.Shadow.write shadow ~ctx:1 ~call:1 ~now:0 64));
-    ];
+  let fig6_rows =
+    microbench ~name:"fig6_memory"
+      [
+        Test.make ~name:"chunk cold touch"
+          (Staged.stage (fun () ->
+               chunk_counter := (!chunk_counter + 1) land 0xFFFF;
+               Sigil.Shadow.write shadow ~ctx:1 ~call:1 ~now:0 (!chunk_counter * Sigil.Shadow.chunk_bytes)));
+        Test.make ~name:"byte re-touch"
+          (Staged.stage (fun () -> Sigil.Shadow.write shadow ~ctx:1 ~call:1 ~now:0 64));
+      ]
+  in
+  ignore fig6_rows;
 
   (* fig 7 / tables: graph construction and trimming on a real profile *)
   let run = paired_run "canneal" small in
   pf "fig7/table2/table3 (post-processing on the canneal profile):\n";
-  microbench ~name:"fig7_partition"
+  ignore @@ microbench ~name:"fig7_partition"
     [
       Test.make ~name:"Cdfg.build"
         (Staged.stage (fun () ->
@@ -331,7 +356,7 @@ let microbenches () =
   let reuse_shadow = Sigil.Shadow.create ~reuse:true () in
   let t = ref 0 in
   pf "fig8-fig11 (reuse-mode shadow read):\n";
-  microbench ~name:"fig8_reuse"
+  ignore @@ microbench ~name:"fig8_reuse"
     [
       Test.make ~name:"read same episode"
         (Staged.stage (fun () ->
@@ -346,7 +371,7 @@ let microbenches () =
   (* fig 12: line shadowing *)
   let line = Sigil.Line_shadow.create () in
   pf "fig12 (line-granularity touch):\n";
-  microbench ~name:"fig12_line"
+  ignore @@ microbench ~name:"fig12_line"
     [
       Test.make ~name:"line touch"
         (Staged.stage (fun () ->
@@ -357,7 +382,7 @@ let microbenches () =
   (* fig 13: event logging and chain building *)
   let log = Option.get (Sigil.Tool.event_log (Driver.sigil (events_run "libquantum" small))) in
   pf "fig13 (event-file post-processing, whole libquantum log):\n";
-  microbench ~name:"fig13_critpath"
+  ignore @@ microbench ~name:"fig13_critpath"
     [
       Test.make ~name:"Critpath.analyze"
         (Staged.stage (fun () -> ignore (Analysis.Critpath.analyze log)));
@@ -373,7 +398,7 @@ let ablation_shadow_layout () =
   let two_level = Sigil.Shadow.create () in
   let flat : (int, int) Hashtbl.t = Hashtbl.create 65536 in
   let t = ref 0 in
-  microbench ~name:"ablation_shadow_layout"
+  ignore @@ microbench ~name:"ablation_shadow_layout"
     [
       Test.make ~name:"two-level write"
         (Staged.stage (fun () ->
@@ -454,6 +479,51 @@ let ablation_reader_set () =
     "The single last-reader pointer (Table I) counts interleaved re-reads as\n\
      unique; real workloads rarely interleave that tightly, so the gap stays small.\n"
 
+let ablation_range_batching () =
+  banner "Ablation: range-batched shadow engine vs per-byte reference";
+  (* identical machines, identical access stream; only the engine differs.
+     8 B is the fig4 event; 64 B approximates a vector/line copy. *)
+  let mk options =
+    let m = Dbi.Machine.create ~call_overhead:0 () in
+    Dbi.Machine.attach m (Sigil.Tool.tool (Sigil.Tool.create ~options m));
+    ignore (Dbi.Machine.enter m "main");
+    m
+  in
+  let range_m = mk Sigil.Options.default in
+  let perbyte_m = mk Sigil.Options.(with_per_byte_shadow default) in
+  let counter = ref 0 in
+  let rw m size () =
+    incr counter;
+    let addr = 0x200000 + (!counter land 0xFFFF) in
+    Dbi.Machine.write m addr size;
+    Dbi.Machine.read m addr size
+  in
+  let rows =
+    microbench ~name:"ablation_range_batching"
+      [
+        Test.make ~name:"range 8B rw" (Staged.stage (rw range_m 8));
+        Test.make ~name:"per-byte 8B rw" (Staged.stage (rw perbyte_m 8));
+        Test.make ~name:"range 64B rw" (Staged.stage (rw range_m 64));
+        Test.make ~name:"per-byte 64B rw" (Staged.stage (rw perbyte_m 64));
+      ]
+  in
+  let speedup sz =
+    ns_of rows (Printf.sprintf "per-byte %s rw" sz) /. ns_of rows (Printf.sprintf "range %s rw" sz)
+  in
+  pf "range vs per-byte speedup: %.2fx at 8 B, %.2fx at 64 B\n" (speedup "8B") (speedup "64B");
+  json_add_obj "ablation_range_vs_per_byte"
+    [
+      ("range_8b_events_per_sec", json_num (events_per_sec (ns_of rows "range 8B rw")));
+      ("per_byte_8b_events_per_sec", json_num (events_per_sec (ns_of rows "per-byte 8B rw")));
+      ("range_64b_events_per_sec", json_num (events_per_sec (ns_of rows "range 64B rw")));
+      ("per_byte_64b_events_per_sec", json_num (events_per_sec (ns_of rows "per-byte 64B rw")));
+      ("speedup_8b", Printf.sprintf "%.2f" (speedup "8B"));
+      ("speedup_64b", Printf.sprintf "%.2f" (speedup "64B"));
+    ];
+  pf
+    "One chunk lookup per span and one profile/transfer update per coalesced\n\
+     run replace the per-byte table walk and hashtable hit.\n"
+
 let ablation_granularity () =
   banner "Ablation: byte vs line shadow granularity (x264, simsmall)";
   let w = workload "x264" in
@@ -472,16 +542,46 @@ let ablation_granularity () =
 
 (* ------------------------------------------------------------------ *)
 
+let sections =
+  [
+    ("fig4", fig4_5_6);
+    ("fig7", fig7_tables);
+    ("fig8", fig8_to_11);
+    ("fig12", fig12);
+    ("fig13", fig13);
+    ("micro", microbenches);
+    ("layout", ablation_shadow_layout);
+    ("memlimit", ablation_memory_limit);
+    ("readerset", ablation_reader_set);
+    ("range", ablation_range_batching);
+    ("granularity", ablation_granularity);
+  ]
+
+(* dune exec bench/main.exe -- [--only sec1,sec2]; default runs everything.
+   BENCH_shadow.json collects whatever the selected sections measured. *)
 let () =
   let t0 = Unix.gettimeofday () in
-  fig4_5_6 ();
-  fig7_tables ();
-  fig8_to_11 ();
-  fig12 ();
-  fig13 ();
-  microbenches ();
-  ablation_shadow_layout ();
-  ablation_memory_limit ();
-  ablation_reader_set ();
-  ablation_granularity ();
+  let only =
+    let rec parse = function
+      | "--only" :: v :: _ -> Some (String.split_on_char ',' v)
+      | _ :: rest -> parse rest
+      | [] -> None
+    in
+    parse (Array.to_list Sys.argv)
+  in
+  let selected =
+    match only with
+    | None -> sections
+    | Some names ->
+      List.iter
+        (fun n ->
+          if not (List.mem_assoc n sections) then
+            failwith
+              (Printf.sprintf "unknown section %S (have: %s)" n
+                 (String.concat ", " (List.map fst sections))))
+        names;
+      List.filter (fun (n, _) -> List.mem n names) sections
+  in
+  List.iter (fun (_, f) -> f ()) selected;
+  write_bench_json "BENCH_shadow.json";
   banner (Printf.sprintf "done in %.1fs" (Unix.gettimeofday () -. t0))

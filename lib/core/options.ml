@@ -3,11 +3,21 @@ type t = {
   collect_events : bool;
   line_size : int option;
   max_chunks : int option;
+  per_byte_shadow : bool;
 }
 
-let default = { reuse_mode = false; collect_events = false; line_size = None; max_chunks = None }
+let default =
+  {
+    reuse_mode = false;
+    collect_events = false;
+    line_size = None;
+    max_chunks = None;
+    per_byte_shadow = false;
+  }
+
 let with_reuse t = { t with reuse_mode = true }
 let with_events t = { t with collect_events = true }
+let with_per_byte_shadow t = { t with per_byte_shadow = true }
 
 let with_line_size t size =
   if size <= 0 || size land (size - 1) <> 0 then

@@ -13,6 +13,11 @@ type t = {
       (** memory-limit parameter: cap on live second-level shadow chunks,
           freed FIFO ("free up space from shadow bytes of addresses that
           have been least recently touched"); [None] = unlimited *)
+  per_byte_shadow : bool;
+      (** drive the shadow engine one byte at a time instead of through the
+          range-batched fast path. Reference implementation kept for
+          differential testing and the range-vs-per-byte ablation; output
+          is identical, only slower. *)
 }
 
 (** Baseline profiling: no reuse stats, no events, byte granularity,
@@ -21,5 +26,6 @@ val default : t
 
 val with_reuse : t -> t
 val with_events : t -> t
+val with_per_byte_shadow : t -> t
 val with_line_size : t -> int -> t
 val with_max_chunks : t -> int -> t

@@ -69,18 +69,23 @@ let edge t src dst =
     t.last_edge <- Some e;
     e
 
-let record_read t ~producer ~consumer ~unique ~bytes =
+let record_run t ~producer ~consumer ~bytes ~unique_bytes =
+  let nonunique = bytes - unique_bytes in
   let s = stats t consumer in
-  if producer = consumer then
-    if unique then s.local_unique <- s.local_unique + bytes
-    else s.local_nonunique <- s.local_nonunique + bytes
+  if producer = consumer then begin
+    s.local_unique <- s.local_unique + unique_bytes;
+    s.local_nonunique <- s.local_nonunique + nonunique
+  end
   else begin
-    if unique then s.input_unique <- s.input_unique + bytes
-    else s.input_nonunique <- s.input_nonunique + bytes;
+    s.input_unique <- s.input_unique + unique_bytes;
+    s.input_nonunique <- s.input_nonunique + nonunique;
     let e = edge t producer consumer in
     e.bytes <- e.bytes + bytes;
-    if unique then e.unique_bytes <- e.unique_bytes + bytes
+    e.unique_bytes <- e.unique_bytes + unique_bytes
   end
+
+let record_read t ~producer ~consumer ~unique ~bytes =
+  record_run t ~producer ~consumer ~bytes ~unique_bytes:(if unique then bytes else 0)
 
 let record_write t ~ctx ~bytes =
   let s = stats t ctx in

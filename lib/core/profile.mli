@@ -40,6 +40,18 @@ val stats : t -> Dbi.Context.id -> fn_stats
 val record_read :
   t -> producer:Dbi.Context.id -> consumer:Dbi.Context.id -> unique:bool -> bytes:int -> unit
 
+(** [record_run t ~producer ~consumer ~bytes ~unique_bytes] records one
+    coalesced {!Shadow.run} — [bytes] total of which [unique_bytes] were
+    first-use — with a single stats and edge update. [record_read] is the
+    single-flag special case. *)
+val record_run :
+  t ->
+  producer:Dbi.Context.id ->
+  consumer:Dbi.Context.id ->
+  bytes:int ->
+  unique_bytes:int ->
+  unit
+
 val record_write : t -> ctx:Dbi.Context.id -> bytes:int -> unit
 val record_ops : t -> ctx:Dbi.Context.id -> Dbi.Event.op_kind -> int -> unit
 val record_call : t -> ctx:Dbi.Context.id -> unit

@@ -22,7 +22,14 @@
 
     A FIFO memory limiter ([max_chunks]) frees the oldest second-level
     chunks, trading accuracy for footprint (the paper needs this only for
-    dedup and reports the loss as negligible). *)
+    dedup and reports the loss as negligible).
+
+    {b Storage.} Chunk state is packed into unboxed 16-bit bigarray planes
+    (32-bit fields are striped across a lo/hi pair), and the first level is
+    a 64-entry directory of on-demand superpages — see docs/FORMATS.md,
+    "Shadow memory layout", for the exact per-chunk host-byte math and the
+    packed-field bounds (context ids < 0xFFFF, call numbers and timestamps
+    < 2^32; out-of-bound values raise [Invalid_argument]). *)
 
 type t
 
@@ -56,6 +63,17 @@ type read_result = {
           accelerator re-fetches its inputs on every invocation. *)
 }
 
+(** One run of a range operation: a maximal span of consecutive bytes that
+    share the same producer and producer call. Runs let the tool pay its
+    per-access accounting (profile update, transfer accumulation) once per
+    run instead of once per byte. *)
+type run = {
+  r_producer : Dbi.Context.id;
+  r_producer_call : int;
+  r_bytes : int; (** bytes in the run *)
+  r_unique_bytes : int; (** of which first-use (see {!read_result.unique}) *)
+}
+
 (** [create ~reuse ~track_writer_call ~max_chunks ~sink ()] builds an empty
     table. [reuse] allocates the extended shadow objects;
     [track_writer_call] adds the producer call number (used in event-file
@@ -71,6 +89,22 @@ val read : t -> ctx:Dbi.Context.id -> call:int -> now:int -> int -> read_result
     version (if any) is flushed to the sink and [ctx] becomes the
     producer. *)
 val write : t -> ctx:Dbi.Context.id -> call:int -> now:int -> int -> unit
+
+(** [read_range t ~ctx ~call ~now addr len] shadows a [len]-byte read as
+    one operation: the chunk is resolved once per within-chunk span and
+    consecutive bytes with the same (producer, producer call) coalesce into
+    one {!run}. The returned runs are in address order and their byte
+    counts sum to [len]. Byte-for-byte equivalent to [len] calls of
+    {!read} — same sink callbacks in the same order, same classification.
+
+    @raise Invalid_argument if the span leaves the shadowed region or
+    [len <= 0]. *)
+val read_range : t -> ctx:Dbi.Context.id -> call:int -> now:int -> int -> int -> run list
+
+(** [write_range t ~ctx ~call ~now addr len] records a [len]-byte write,
+    resolving each chunk once per span. Equivalent to [len] calls of
+    {!write}. *)
+val write_range : t -> ctx:Dbi.Context.id -> call:int -> now:int -> int -> int -> unit
 
 (** [flush t] ends every live episode and version (program end). The table
     remains usable. *)
@@ -91,8 +125,8 @@ val chunks_peak : t -> int
 (** Chunks freed by the FIFO limiter. *)
 val evictions : t -> int
 
-(** Current footprint estimate in host bytes (first-level table + live
-    chunks). *)
+(** Current footprint estimate in host bytes (directory + live superpages
+    + live chunks). *)
 val footprint_bytes : t -> int
 
 val footprint_peak_bytes : t -> int

@@ -88,6 +88,26 @@ let top t =
   | frame :: _ -> frame
   | [] -> assert false (* the synthetic root frame is never popped *)
 
+(* Dependency edges also cover a function consuming data from an earlier
+   call of itself (the PRNG-state chains of §IV-C); only reads of the
+   current call's own writes impose no ordering. *)
+let[@inline] xfer_add frame ~producer ~producer_call ~bytes ~unique_bytes =
+  if producer <> frame.ctx || producer_call <> frame.call then begin
+    let key = xfer_key producer producer_call in
+    let acc =
+      match Hashtbl.find_opt frame.frag_xfers key with
+      | Some acc -> acc
+      | None ->
+        let acc = { bytes = 0; unique = 0 } in
+        Hashtbl.add frame.frag_xfers key acc;
+        acc
+    in
+    acc.bytes <- acc.bytes + bytes;
+    acc.unique <- acc.unique + unique_bytes
+  end
+
+(* Per-byte reference path (Options.per_byte_shadow): the pre-range
+   implementation, kept for differential tests and the ablation. *)
 let byte_read t frame addr =
   let r =
     Shadow.read t.shadow ~ctx:frame.ctx ~call:frame.call ~now:(Dbi.Machine.now t.machine) addr
@@ -97,22 +117,26 @@ let byte_read t frame addr =
   match t.log with
   | None -> ()
   | Some _ ->
-    (* Dependency edges also cover a function consuming data from an
-       earlier call of itself (the PRNG-state chains of §IV-C); only reads
-       of the current call's own writes impose no ordering. *)
-    if r.Shadow.producer <> frame.ctx || r.Shadow.producer_call <> frame.call then begin
-      let key = xfer_key r.Shadow.producer r.Shadow.producer_call in
-      let acc =
-        match Hashtbl.find_opt frame.frag_xfers key with
-        | Some acc -> acc
-        | None ->
-          let acc = { bytes = 0; unique = 0 } in
-          Hashtbl.add frame.frag_xfers key acc;
-          acc
-      in
-      acc.bytes <- acc.bytes + 1;
-      if r.Shadow.unique then acc.unique <- acc.unique + 1
-    end
+    xfer_add frame ~producer:r.Shadow.producer ~producer_call:r.Shadow.producer_call ~bytes:1
+      ~unique_bytes:(if r.Shadow.unique then 1 else 0)
+
+(* Range fast path: one shadow traversal for the whole access, then one
+   profile update and one transfer-accumulator hit per coalesced run. *)
+let range_read t frame addr size =
+  let runs =
+    Shadow.read_range t.shadow ~ctx:frame.ctx ~call:frame.call
+      ~now:(Dbi.Machine.now t.machine) addr size
+  in
+  let log = t.log <> None in
+  List.iter
+    (fun (run : Shadow.run) ->
+      Profile.record_run t.profile ~producer:run.Shadow.r_producer ~consumer:frame.ctx
+        ~bytes:run.Shadow.r_bytes ~unique_bytes:run.Shadow.r_unique_bytes;
+      if log then
+        xfer_add frame ~producer:run.Shadow.r_producer
+          ~producer_call:run.Shadow.r_producer_call ~bytes:run.Shadow.r_bytes
+          ~unique_bytes:run.Shadow.r_unique_bytes)
+    runs
 
 let tool t : Dbi.Tool.t =
   let line_mode = t.line <> None in
@@ -148,9 +172,11 @@ let tool t : Dbi.Tool.t =
         | Some line -> Line_shadow.touch line ~now:(Dbi.Machine.now t.machine) addr size
         | None ->
           let frame = top t in
-          for i = 0 to size - 1 do
-            byte_read t frame (addr + i)
-          done);
+          if t.options.Options.per_byte_shadow then
+            for i = 0 to size - 1 do
+              byte_read t frame (addr + i)
+            done
+          else range_read t frame addr size);
     on_write =
       (fun ~ctx ~addr ~size ->
         match t.line with
@@ -159,9 +185,11 @@ let tool t : Dbi.Tool.t =
           let frame = top t in
           Profile.record_write t.profile ~ctx ~bytes:size;
           let now = Dbi.Machine.now t.machine in
-          for i = 0 to size - 1 do
-            Shadow.write t.shadow ~ctx:frame.ctx ~call:frame.call ~now (addr + i)
-          done);
+          if t.options.Options.per_byte_shadow then
+            for i = 0 to size - 1 do
+              Shadow.write t.shadow ~ctx:frame.ctx ~call:frame.call ~now (addr + i)
+            done
+          else Shadow.write_range t.shadow ~ctx:frame.ctx ~call:frame.call ~now addr size);
     on_op =
       (fun ~ctx ~kind ~count ->
         if not line_mode then begin

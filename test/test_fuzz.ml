@@ -14,8 +14,10 @@ and prog = {
   actions : action list;
 }
 
-let arena = 0x200000
-let arena_size = 4096
+(* Straddle a chunk boundary (0x200000 is chunk-aligned, chunks are 4 KB)
+   so random spans exercise the cross-chunk paths of the range engine. *)
+let arena = 0x200000 - 16
+let arena_size = 8192
 
 let gen_prog =
   let open QCheck.Gen in
@@ -180,6 +182,73 @@ let prop_reuse_consistent =
       let touched_bytes = c.Dbi.Machine.read_bytes + c.Dbi.Machine.written_bytes in
       elements <= max 1 touched_bytes)
 
+(* Differential check of the range-batched shadow engine: the same random
+   program driven through Shadow.read_range/write_range (default) and
+   through the per-byte reference loop must produce bit-identical profiles,
+   event logs, and reuse statistics. *)
+let run_differential prog options =
+  let range = ref None and per_byte = ref None in
+  let _ =
+    Dbi.Runner.run ~call_overhead:0
+      ~tools:
+        [
+          (fun m ->
+            let t = Sigil.Tool.create ~options m in
+            range := Some t;
+            Sigil.Tool.tool t);
+          (fun m ->
+            let t =
+              Sigil.Tool.create ~options:(Sigil.Options.with_per_byte_shadow options) m
+            in
+            per_byte := Some t;
+            Sigil.Tool.tool t);
+        ]
+      (fun m -> interp m prog)
+  in
+  (Option.get !range, Option.get !per_byte)
+
+let profiles_equal a b =
+  let ctxs p = Sigil.Profile.contexts p in
+  let stats_of p ctx =
+    let s = Sigil.Profile.stats p ctx in
+    Sigil.Profile.
+      ( s.input_unique, s.input_nonunique, s.local_unique, s.local_nonunique, s.written,
+        s.int_ops, s.fp_ops, s.calls )
+  in
+  let edges p =
+    List.sort compare
+      (List.map
+         (fun (e : Sigil.Profile.edge) ->
+           (e.Sigil.Profile.src, e.Sigil.Profile.dst, e.Sigil.Profile.bytes,
+            e.Sigil.Profile.unique_bytes))
+         (Sigil.Profile.edges p))
+  in
+  ctxs a = ctxs b
+  && List.for_all (fun ctx -> stats_of a ctx = stats_of b ctx) (ctxs a)
+  && edges a = edges b
+
+let prop_range_matches_per_byte =
+  QCheck.Test.make ~name:"range engine bit-identical to per-byte reference" ~count:120
+    arbitrary (fun prog ->
+      let range, per_byte = run_differential prog Sigil.Options.(with_events (with_reuse default)) in
+      let bins t = Sigil.Reuse.version_bins (Sigil.Tool.reuse t) in
+      let log t = Sigil.Event_log.entries (Option.get (Sigil.Tool.event_log t)) in
+      profiles_equal (Sigil.Tool.profile range) (Sigil.Tool.profile per_byte)
+      && bins range = bins per_byte
+      && log range = log per_byte)
+
+let prop_range_matches_per_byte_limited =
+  QCheck.Test.make ~name:"range engine matches per-byte under FIFO eviction" ~count:60
+    arbitrary (fun prog ->
+      (* max_chunks 1 forces evictions on every cross-chunk access; the
+         arena spans two chunks, so random traces hit the mid-range path *)
+      let options = Sigil.Options.(with_max_chunks (with_reuse default) 1) in
+      let range, per_byte = run_differential prog options in
+      profiles_equal (Sigil.Tool.profile range) (Sigil.Tool.profile per_byte)
+      && Sigil.Reuse.version_bins (Sigil.Tool.reuse range)
+         = Sigil.Reuse.version_bins (Sigil.Tool.reuse per_byte)
+      && Sigil.Tool.shadow_evictions range = Sigil.Tool.shadow_evictions per_byte)
+
 let prop_trace_replay_identical =
   QCheck.Test.make ~name:"trace replay reproduces the profile" ~count:40 arbitrary (fun prog ->
       let path = Filename.temp_file "fuzz_trace" ".txt" in
@@ -219,6 +288,8 @@ let () =
             prop_event_log_consistent;
             prop_cdfg_consistent;
             prop_reuse_consistent;
+            prop_range_matches_per_byte;
+            prop_range_matches_per_byte_limited;
             prop_trace_replay_identical;
           ] );
     ]

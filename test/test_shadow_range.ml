@@ -1,0 +1,246 @@
+open Sigil
+
+(* Range API: chunk clamping, run coalescing, eviction mid-range, and
+   byte-for-byte equivalence with the single-byte calls. *)
+
+let run_t : Shadow.run Alcotest.testable =
+  Alcotest.testable
+    (fun ppf (r : Shadow.run) ->
+      Format.fprintf ppf "{producer=%d; call=%d; bytes=%d; unique=%d}" r.Shadow.r_producer
+        r.Shadow.r_producer_call r.Shadow.r_bytes r.Shadow.r_unique_bytes)
+    ( = )
+
+let mk ?reuse ?track_writer_call ?max_chunks ?sink () =
+  Shadow.create ?reuse ?track_writer_call ?max_chunks ?sink ()
+
+let addr = 0x200000
+
+let test_single_run_coalesced () =
+  let t = mk () in
+  Shadow.write_range t ~ctx:3 ~call:1 ~now:0 addr 64;
+  let runs = Shadow.read_range t ~ctx:5 ~call:1 ~now:1 addr 64 in
+  Alcotest.(check (list run_t))
+    "one coalesced run"
+    [ { Shadow.r_producer = 3; r_producer_call = 0; r_bytes = 64; r_unique_bytes = 64 } ]
+    runs
+
+let test_runs_split_on_producer () =
+  let t = mk () in
+  Shadow.write_range t ~ctx:3 ~call:1 ~now:0 addr 8;
+  Shadow.write_range t ~ctx:4 ~call:1 ~now:0 (addr + 8) 4;
+  Shadow.write_range t ~ctx:3 ~call:1 ~now:0 (addr + 12) 4;
+  let runs = Shadow.read_range t ~ctx:5 ~call:1 ~now:1 addr 16 in
+  Alcotest.(check (list run_t))
+    "three runs, split at producer changes"
+    [
+      { Shadow.r_producer = 3; r_producer_call = 0; r_bytes = 8; r_unique_bytes = 8 };
+      { Shadow.r_producer = 4; r_producer_call = 0; r_bytes = 4; r_unique_bytes = 4 };
+      { Shadow.r_producer = 3; r_producer_call = 0; r_bytes = 4; r_unique_bytes = 4 };
+    ]
+    runs
+
+let test_runs_split_on_producer_call () =
+  (* same producer context but different calls must not coalesce: event
+     files attach transfers to the producing call *)
+  let t = mk ~track_writer_call:true () in
+  Shadow.write_range t ~ctx:3 ~call:1 ~now:0 addr 4;
+  Shadow.write_range t ~ctx:3 ~call:2 ~now:0 (addr + 4) 4;
+  let runs = Shadow.read_range t ~ctx:5 ~call:1 ~now:1 addr 8 in
+  Alcotest.(check (list run_t))
+    "split at producer-call change"
+    [
+      { Shadow.r_producer = 3; r_producer_call = 1; r_bytes = 4; r_unique_bytes = 4 };
+      { Shadow.r_producer = 3; r_producer_call = 2; r_bytes = 4; r_unique_bytes = 4 };
+    ]
+    runs
+
+let test_unique_vs_nonunique_mix () =
+  let t = mk () in
+  Shadow.write_range t ~ctx:3 ~call:1 ~now:0 addr 8;
+  (* pre-read the middle 4 bytes with the same (ctx, call) as below *)
+  ignore (Shadow.read_range t ~ctx:5 ~call:1 ~now:1 (addr + 2) 4);
+  let runs = Shadow.read_range t ~ctx:5 ~call:1 ~now:2 addr 8 in
+  (* one producer throughout, so still one run; 4 of its bytes are re-reads *)
+  Alcotest.(check (list run_t))
+    "unique count excludes same-call re-reads"
+    [ { Shadow.r_producer = 3; r_producer_call = 0; r_bytes = 8; r_unique_bytes = 4 } ]
+    runs
+
+let test_cross_chunk_span () =
+  let t = mk () in
+  let start = (3 * Shadow.chunk_bytes) - 5 in
+  Shadow.write_range t ~ctx:7 ~call:1 ~now:0 start 10;
+  Alcotest.(check int) "two chunks allocated" 2 (Shadow.chunks_live t);
+  let runs = Shadow.read_range t ~ctx:5 ~call:1 ~now:1 start 10 in
+  Alcotest.(check (list run_t))
+    "runs coalesce across the chunk boundary"
+    [ { Shadow.r_producer = 7; r_producer_call = 0; r_bytes = 10; r_unique_bytes = 10 } ]
+    runs;
+  (* both sides of the boundary really are shadowed *)
+  Alcotest.(check (option int)) "left of boundary" (Some 7) (Shadow.producer_of t start);
+  Alcotest.(check (option int))
+    "right of boundary" (Some 7)
+    (Shadow.producer_of t (start + 9))
+
+let test_eviction_mid_range () =
+  (* with max_chunks = 1, a cross-chunk write must evict the first chunk
+     while the range is still in flight, and still land every byte *)
+  let t = mk ~max_chunks:1 () in
+  let start = Shadow.chunk_bytes - 4 in
+  Shadow.write_range t ~ctx:7 ~call:1 ~now:0 start 8;
+  Alcotest.(check int) "one live chunk" 1 (Shadow.chunks_live t);
+  Alcotest.(check int) "first chunk evicted mid-range" 1 (Shadow.evictions t);
+  Alcotest.(check (option int)) "evicted side forgotten" None (Shadow.producer_of t start);
+  Alcotest.(check (option int))
+    "surviving side kept" (Some 7)
+    (Shadow.producer_of t Shadow.chunk_bytes);
+  (* reading back across the boundary thrashes the single slot again:
+     re-allocating chunk 0 evicts chunk 1 before its span is read, so every
+     byte comes back as program input — exactly what per-byte reads do *)
+  let runs = Shadow.read_range t ~ctx:5 ~call:1 ~now:1 start 8 in
+  Alcotest.(check (list run_t))
+    "thrashed bytes read as root-produced"
+    [ { Shadow.r_producer = Dbi.Context.root; r_producer_call = 0; r_bytes = 8; r_unique_bytes = 8 } ]
+    runs;
+  Alcotest.(check int) "read re-evicted both chunks" 3 (Shadow.evictions t)
+
+let test_eviction_mid_range_flushes_sink () =
+  let versions = ref [] in
+  let sink =
+    {
+      Shadow.on_episode_end = (fun ~reader:_ ~reads:_ ~first:_ ~last:_ -> ());
+      on_version_end = (fun ~producer ~nonunique -> versions := (producer, nonunique) :: !versions);
+    }
+  in
+  let t = mk ~reuse:true ~max_chunks:1 ~sink () in
+  Shadow.write t ~ctx:9 ~call:1 ~now:0 0;
+  (* cross-chunk read evicts chunk 0 when it reaches chunk 1; the flush
+     reports the written byte's version and, as program input, the two
+     bytes of chunk 0 the read itself just touched *)
+  ignore (Shadow.read_range t ~ctx:5 ~call:1 ~now:1 (Shadow.chunk_bytes - 2) 4);
+  Alcotest.(check (list (pair int int)))
+    "evicted versions reported"
+    [ (Dbi.Context.root, 0); (Dbi.Context.root, 0); (9, 0) ]
+    !versions
+
+let test_range_equals_per_byte () =
+  (* same interleaved access trace through both APIs -> identical
+     classification and identical sink traffic *)
+  let record () =
+    let log = ref [] in
+    let sink =
+      {
+        Shadow.on_episode_end =
+          (fun ~reader ~reads ~first ~last -> log := `Ep (reader, reads, first, last) :: !log);
+        on_version_end = (fun ~producer ~nonunique -> log := `Ver (producer, nonunique) :: !log);
+      }
+    in
+    (Shadow.create ~reuse:true ~track_writer_call:true ~sink (), log)
+  in
+  let ops =
+    [
+      `W (1, 1, addr, 16);
+      `R (2, 1, addr + 3, 8);
+      `R (2, 1, addr, 16);
+      `W (1, 2, addr + 8, 4);
+      `R (3, 1, addr, 16);
+      `R (2, 2, addr + 14, 6);
+    ]
+  in
+  let by_range, log_r = record () in
+  let range_results =
+    List.map
+      (function
+        | `W (ctx, call, a, n) ->
+          Shadow.write_range by_range ~ctx ~call ~now:0 a n;
+          []
+        | `R (ctx, call, a, n) -> Shadow.read_range by_range ~ctx ~call ~now:call a n)
+      ops
+  in
+  let by_byte, log_b = record () in
+  let byte_results =
+    List.map
+      (function
+        | `W (ctx, call, a, n) ->
+          for i = 0 to n - 1 do
+            Shadow.write by_byte ~ctx ~call ~now:0 (a + i)
+          done;
+          []
+        | `R (ctx, call, a, n) ->
+          List.init n (fun i -> Shadow.read by_byte ~ctx ~call ~now:call (a + i)))
+      ops
+  in
+  (* sink call sequences identical *)
+  Alcotest.(check int) "same sink calls" (List.length !log_b) (List.length !log_r);
+  Alcotest.(check bool) "same sink sequence" true (!log_b = !log_r);
+  (* per-byte classification recovered from the runs matches exactly: the
+     unique flags within a run are not positional, so compare totals *)
+  List.iter2
+    (fun runs bytes ->
+      let run_total = List.fold_left (fun a (r : Shadow.run) -> a + r.Shadow.r_bytes) 0 runs in
+      let run_unique =
+        List.fold_left (fun a (r : Shadow.run) -> a + r.Shadow.r_unique_bytes) 0 runs
+      in
+      let byte_unique =
+        List.fold_left (fun a (r : Shadow.read_result) -> a + if r.Shadow.unique then 1 else 0) 0 bytes
+      in
+      Alcotest.(check int) "bytes" (List.length bytes) run_total;
+      Alcotest.(check int) "unique bytes" byte_unique run_unique)
+    range_results byte_results
+
+let test_range_bounds () =
+  let t = mk () in
+  Alcotest.check_raises "past the end" (Invalid_argument "Shadow: address out of range")
+    (fun () -> ignore (Shadow.read_range t ~ctx:1 ~call:1 ~now:0 (Shadow.max_address - 4) 8));
+  Alcotest.check_raises "empty range" (Invalid_argument "Shadow: range length must be positive")
+    (fun () -> ignore (Shadow.read_range t ~ctx:1 ~call:1 ~now:0 addr 0));
+  Alcotest.check_raises "packed ctx bound"
+    (Invalid_argument "Shadow: context id exceeds packed 16-bit bound") (fun () ->
+      Shadow.write_range t ~ctx:0xFFFF ~call:1 ~now:0 addr 1)
+
+let test_packed_footprint () =
+  (* packed planes: ~8 host bytes per shadowed byte baseline and ~28 in
+     full reuse+event width, vs 24 and 64 for the old boxed int arrays.
+     Measure the marginal cost of a second chunk inside an already-mapped
+     superpage so the page allocation doesn't blur the numbers. *)
+  let marginal mk_t =
+    let t = mk_t () in
+    Shadow.write t ~ctx:1 ~call:1 ~now:0 addr;
+    let one = Shadow.footprint_bytes t in
+    Shadow.write t ~ctx:1 ~call:1 ~now:0 (addr + Shadow.chunk_bytes);
+    Shadow.footprint_bytes t - one
+  in
+  let baseline = marginal (fun () -> mk ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "baseline chunk is packed (%d bytes)" baseline)
+    true
+    (baseline <= 9 * Shadow.chunk_bytes);
+  let full = marginal (fun () -> mk ~reuse:true ~track_writer_call:true ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "full-width chunk is packed (%d bytes)" full)
+    true
+    (full <= 29 * Shadow.chunk_bytes);
+  let base = Shadow.footprint_bytes (mk ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "empty-table floor is small (%d bytes)" base)
+    true (base < 65536)
+
+let () =
+  Alcotest.run "shadow_range"
+    [
+      ( "range",
+        [
+          Alcotest.test_case "single run coalesced" `Quick test_single_run_coalesced;
+          Alcotest.test_case "runs split on producer" `Quick test_runs_split_on_producer;
+          Alcotest.test_case "runs split on producer call" `Quick
+            test_runs_split_on_producer_call;
+          Alcotest.test_case "unique/nonunique mix" `Quick test_unique_vs_nonunique_mix;
+          Alcotest.test_case "cross-chunk span" `Quick test_cross_chunk_span;
+          Alcotest.test_case "eviction mid-range" `Quick test_eviction_mid_range;
+          Alcotest.test_case "eviction mid-range flushes sink" `Quick
+            test_eviction_mid_range_flushes_sink;
+          Alcotest.test_case "range equals per-byte" `Quick test_range_equals_per_byte;
+          Alcotest.test_case "range bounds" `Quick test_range_bounds;
+          Alcotest.test_case "packed footprint" `Quick test_packed_footprint;
+        ] );
+    ]
