@@ -9,18 +9,37 @@ let banner title =
   let line = String.make 78 '#' in
   Printf.printf "\n%s\n## %s\n%s\n" line title line
 
+(* The pool behind --domains N; [None] (or N = 1) keeps every code path
+   sequential. Sections must only print from the main domain so stdout stays
+   deterministic; parallel work returns values for the main domain to render. *)
+let pool : Pool.t option ref = ref None
+let set_pool p = pool := p
+
+(* [pmap f xs] fans a per-item computation out over the pool (in submission
+   order, so results match List.map exactly) or degrades to List.map. *)
+let pmap f xs = match !pool with Some p -> Pool.map p f xs | None -> List.map f xs
+
 (* Workload runs are expensive; every figure reuses them through this
-   cache. Key: workload name, scale, tool configuration tag. *)
+   cache. Key: workload name, scale, tool configuration tag. The mutex makes
+   the cache safe to fill from pool domains (prewarm); concurrent misses on
+   the same key at worst run the workload twice, and since runs are
+   deterministic either result is the same. *)
 let cache : (string, Driver.run) Hashtbl.t = Hashtbl.create 64
+let cache_lock = Mutex.create ()
 
 let cached ~tag ~name ~scale make =
   let key = Printf.sprintf "%s/%s/%s" name (Workloads.Scale.name scale) tag in
-  match Hashtbl.find_opt cache key with
+  let hit = Mutex.protect cache_lock (fun () -> Hashtbl.find_opt cache key) in
+  match hit with
   | Some run -> run
   | None ->
     let run = make () in
-    Hashtbl.add cache key run;
-    run
+    Mutex.protect cache_lock (fun () ->
+        match Hashtbl.find_opt cache key with
+        | Some run -> run
+        | None ->
+          Hashtbl.add cache key run;
+          run)
 
 let workload name =
   match Workloads.Suite.find name with

@@ -55,8 +55,11 @@ let measure_overhead name scale =
 
 let fig4_5_6 () =
   banner "Fig 4/5: slowdown of Sigil and Callgrind relative to native";
-  let rows = List.map (fun n -> measure_overhead n small) parsec in
-  let rows_medium = List.map (fun n -> measure_overhead n medium) parsec in
+  (* per-workload measurements are independent; under --domains N they run
+     concurrently (timings then include scheduling noise, as any wall-clock
+     measurement does — the profile-derived figures stay bit-identical) *)
+  let rows = pmap (fun n -> measure_overhead n small) parsec in
+  let rows_medium = pmap (fun n -> measure_overhead n medium) parsec in
   print_string (section "Fig 4: slowdown vs native (simsmall)");
   print_string
     (Analysis.Table.render
@@ -118,13 +121,16 @@ let fig4_5_6 () =
 (* Figure 7 and Tables II/III: partitioning                            *)
 (* ------------------------------------------------------------------ *)
 
+(* candidate ranking fans the trim reduction over calltree subtrees on the
+   shared pool (Partition.trim ?pool); bit-identical to the sequential pass *)
 let trimmed name =
   let run = paired_run name small in
-  Analysis.Partition.trim (Analysis.Cdfg.build ~callgrind:(Driver.callgrind run) (Driver.sigil run))
+  Analysis.Partition.trim ?pool:!Bench_util.pool
+    (Analysis.Cdfg.build ~callgrind:(Driver.callgrind run) (Driver.sigil run))
 
 let fig7_tables () =
   banner "Fig 7: coverage of the trimmed-calltree leaves";
-  let coverages = List.map (fun n -> (n, (trimmed n).Analysis.Partition.coverage)) parsec in
+  let coverages = pmap (fun n -> (n, (trimmed n).Analysis.Partition.coverage)) parsec in
   print_string
     (Analysis.Table.bar_chart
        ~fmt:(fun v -> Printf.sprintf "%.0f%%" (100.0 *. v))
@@ -135,9 +141,10 @@ let fig7_tables () =
     coverages;
 
   banner "Tables II/III: breakeven speedups of best/worst candidates";
+  let table_benchmarks = [ "blackscholes"; "bodytrack"; "canneal"; "dedup" ] in
+  let ranked_tables = pmap (fun name -> (name, Analysis.Partition.rank (trimmed name))) table_benchmarks in
   List.iter
-    (fun name ->
-      let ranked = Analysis.Partition.rank (trimmed name) in
+    (fun (name, ranked) ->
       let render title cands =
         print_string (section (Printf.sprintf "%s: %s" name title));
         print_string
@@ -154,7 +161,7 @@ let fig7_tables () =
       in
       render "top 5 (Table II)" (Analysis.Partition.top 5 ranked);
       render "bottom 5 (Table III)" (Analysis.Partition.bottom 5 ranked))
-    [ "blackscholes"; "bodytrack"; "canneal"; "dedup" ]
+    ranked_tables
 
 (* ------------------------------------------------------------------ *)
 (* Figures 8-11: data re-use                                           *)
@@ -228,7 +235,7 @@ let fig13_benchmarks =
 let fig13 () =
   banner "Fig 13: maximum speedup based on function-level parallelism";
   let results =
-    List.map
+    pmap
       (fun name ->
         let run = events_run name small in
         (name, run, Driver.critpath run))
@@ -417,23 +424,24 @@ let ablation_memory_limit () =
   banner "Ablation: FIFO memory limiter on/off (dedup, simsmall)";
   let w = workload "dedup" in
   let run options =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Dbi.Runner.monotonic_s () in
     let r = Driver.run_workload ~options w small in
-    (r, Unix.gettimeofday () -. t0)
+    (r, Dbi.Runner.monotonic_s () -. t0)
   in
-  let unlimited, t_unl = run Sigil.Options.default in
-  let limited, t_lim = run (Sigil.Options.with_max_chunks Sigil.Options.default 64) in
-  let footprint r = float_of_int (Sigil.Tool.shadow_footprint_peak_bytes (Driver.sigil r)) /. 1e6 in
-  let unique r = fst (Sigil.Profile.totals (Sigil.Tool.profile (Driver.sigil r))) in
-  pf "unlimited: %.1f MB peak, %.3fs, %d unique read bytes\n" (footprint unlimited) t_unl
-    (unique unlimited);
-  pf "limited:   %.1f MB peak, %.3fs, %d unique read bytes (%d evictions)\n"
-    (footprint limited) t_lim (unique limited)
-    (Sigil.Tool.shadow_evictions (Driver.sigil limited));
-  pf "accuracy loss on unique counts: %.3f%%\n"
-    (100.0
-    *. Float.abs (float_of_int (unique limited - unique unlimited))
-    /. float_of_int (max 1 (unique unlimited)))
+  match pmap run [ Sigil.Options.default; Sigil.Options.with_max_chunks Sigil.Options.default 64 ] with
+  | [ (unlimited, t_unl); (limited, t_lim) ] ->
+    let footprint r = float_of_int (Sigil.Tool.shadow_footprint_peak_bytes (Driver.sigil r)) /. 1e6 in
+    let unique r = fst (Sigil.Profile.totals (Sigil.Tool.profile (Driver.sigil r))) in
+    pf "unlimited: %.1f MB peak, %.3fs, %d unique read bytes\n" (footprint unlimited) t_unl
+      (unique unlimited);
+    pf "limited:   %.1f MB peak, %.3fs, %d unique read bytes (%d evictions)\n"
+      (footprint limited) t_lim (unique limited)
+      (Sigil.Tool.shadow_evictions (Driver.sigil limited));
+    pf "accuracy loss on unique counts: %.3f%%\n"
+      (100.0
+      *. Float.abs (float_of_int (unique limited - unique unlimited))
+      /. float_of_int (max 1 (unique unlimited)))
+  | _ -> assert false
 
 let ablation_reader_set () =
   banner "Ablation: last-reader heuristic vs exact reader sets";
@@ -528,19 +536,109 @@ let ablation_granularity () =
   banner "Ablation: byte vs line shadow granularity (x264, simsmall)";
   let w = workload "x264" in
   let timed options =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Dbi.Runner.monotonic_s () in
     let r = Driver.run_workload ~options w small in
-    (r, Unix.gettimeofday () -. t0)
+    (r, Dbi.Runner.monotonic_s () -. t0)
   in
-  let byte_run, t_byte = timed Sigil.Options.default in
-  let line_run, t_line = timed (Sigil.Options.with_line_size Sigil.Options.default 64) in
-  pf "byte granularity: %.3fs, %.1f MB shadow\n" t_byte
-    (float_of_int (Sigil.Tool.shadow_footprint_peak_bytes (Driver.sigil byte_run)) /. 1e6);
-  pf "line granularity: %.3fs, %d line records\n" t_line
-    (Sigil.Line_shadow.lines (Option.get (Sigil.Tool.line_shadow (Driver.sigil line_run))));
-  pf "line mode trades per-function attribution for footprint and speed.\n"
+  match pmap timed [ Sigil.Options.default; Sigil.Options.with_line_size Sigil.Options.default 64 ] with
+  | [ (byte_run, t_byte); (line_run, t_line) ] ->
+    pf "byte granularity: %.3fs, %.1f MB shadow\n" t_byte
+      (float_of_int (Sigil.Tool.shadow_footprint_peak_bytes (Driver.sigil byte_run)) /. 1e6);
+    pf "line granularity: %.3fs, %d line records\n" t_line
+      (Sigil.Line_shadow.lines (Option.get (Sigil.Tool.line_shadow (Driver.sigil line_run))));
+    pf "line mode trades per-function attribution for footprint and speed.\n"
+  | _ -> assert false
 
 (* ------------------------------------------------------------------ *)
+(* Suite: sequential vs domain-parallel full-evaluation wall-clock     *)
+(* ------------------------------------------------------------------ *)
+
+(* set from --domains; the suite section sizes its own pool with it so the
+   comparison measures exactly N domains *)
+let suite_domains = ref (Pool.recommended ())
+
+let suite_bench () =
+  let domains = !suite_domains in
+  banner
+    (Printf.sprintf "Suite: full PARSEC sweep, sequential vs %d-domain pool (simsmall)" domains);
+  (* the Fig 4-7 configuration: Sigil on top of Callgrind, dedup limited *)
+  let jobs () =
+    List.map
+      (fun name ->
+        Driver.job ~options:(baseline_options name) ~with_callgrind:true (workload name) small)
+      parsec
+  in
+  let fingerprint runs =
+    Digest.to_hex
+      (Digest.string
+         (String.concat "\n" (List.map (fun r -> Sigil.Profile_io.to_string (Driver.sigil r)) runs)))
+  in
+  let t0 = Dbi.Runner.monotonic_s () in
+  let seq = Driver.run_many (jobs ()) in
+  let sequential_s = Dbi.Runner.monotonic_s () -. t0 in
+  let t1 = Dbi.Runner.monotonic_s () in
+  let par =
+    if domains > 1 then Pool.with_pool ~domains (fun p -> Driver.run_many ~pool:p (jobs ()))
+    else Driver.run_many (jobs ())
+  in
+  let parallel_s = Dbi.Runner.monotonic_s () -. t1 in
+  let fp_seq = fingerprint seq and fp_par = fingerprint par in
+  let speedup = sequential_s /. Float.max parallel_s 1e-9 in
+  pf "%d workloads, %d domains (host reports %d cores)\n" (List.length parsec) domains
+    (Domain.recommended_domain_count ());
+  pf "sequential: %.3fs   parallel: %.3fs   speedup: %.2fx\n" sequential_s parallel_s speedup;
+  pf "profile fingerprint: sequential %s, parallel %s -> %s\n" fp_seq fp_par
+    (if fp_seq = fp_par then "bit-identical" else "MISMATCH");
+  let oc = open_out "BENCH_suite.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workloads\": %d,\n\
+    \  \"scale\": \"simsmall\",\n\
+    \  \"domains\": %d,\n\
+    \  \"host_cores\": %d,\n\
+    \  \"sequential_s\": %.3f,\n\
+    \  \"parallel_s\": %.3f,\n\
+    \  \"speedup\": %.2f,\n\
+    \  \"bit_identical\": %b\n\
+     }\n"
+    (List.length parsec) domains
+    (Domain.recommended_domain_count ())
+    sequential_s parallel_s speedup (fp_seq = fp_par);
+  close_out oc;
+  pf "wrote BENCH_suite.json\n";
+  if fp_seq <> fp_par then
+    failwith "suite determinism violated: parallel profiles differ from sequential"
+
+(* ------------------------------------------------------------------ *)
+
+(* Cached runs the selected sections will ask for, warmed concurrently so
+   the sections themselves (which print, and therefore stay on the main
+   domain) find them ready. *)
+let prewarm selected pool =
+  let thunk f = (fun () -> ignore (f ())) in
+  let thunks =
+    List.concat_map
+      (fun (section, _) ->
+        match section with
+        | "fig4" ->
+          List.concat_map
+            (fun n ->
+              [ thunk (fun () -> paired_run n small); thunk (fun () -> paired_run n medium) ])
+            parsec
+        | "fig7" -> List.map (fun n -> thunk (fun () -> paired_run n small)) parsec
+        | "fig8" -> List.map (fun n -> thunk (fun () -> reuse_run n small)) parsec
+        | "fig12" -> List.map (fun n -> thunk (fun () -> line_run n small)) parsec
+        | "fig13" -> List.map (fun n -> thunk (fun () -> events_run n small)) fig13_benchmarks
+        | "micro" ->
+          [ thunk (fun () -> paired_run "canneal" small);
+            thunk (fun () -> events_run "libquantum" small) ]
+        | _ -> [])
+      selected
+  in
+  if thunks <> [] then begin
+    pf "prewarming %d cached runs across %d domains\n%!" (List.length thunks) (Pool.size pool);
+    ignore (Pool.run pool thunks)
+  end
 
 let sections =
   [
@@ -555,20 +653,38 @@ let sections =
     ("readerset", ablation_reader_set);
     ("range", ablation_range_batching);
     ("granularity", ablation_granularity);
+    ("suite", suite_bench);
   ]
 
-(* dune exec bench/main.exe -- [--only sec1,sec2]; default runs everything.
-   BENCH_shadow.json collects whatever the selected sections measured. *)
+(* dune exec bench/main.exe -- [--only sec1,sec2] [--domains N]; default
+   runs everything on a Pool.recommended-sized pool. BENCH_shadow.json
+   collects whatever the selected sections measured; the suite section
+   additionally writes BENCH_suite.json. *)
 let () =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Dbi.Runner.monotonic_s () in
+  let argv = Array.to_list Sys.argv in
   let only =
     let rec parse = function
       | "--only" :: v :: _ -> Some (String.split_on_char ',' v)
       | _ :: rest -> parse rest
       | [] -> None
     in
-    parse (Array.to_list Sys.argv)
+    parse argv
   in
+  let domains =
+    let rec parse = function
+      | "--domains" :: v :: _ -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 -> n
+        | Some _ | None -> failwith (Printf.sprintf "--domains: bad count %S" v))
+      | _ :: rest -> parse rest
+      | [] -> Pool.recommended ()
+    in
+    parse argv
+  in
+  suite_domains := domains;
+  let pool = if domains > 1 then Some (Pool.create ~domains ()) else None in
+  Bench_util.set_pool pool;
   let selected =
     match only with
     | None -> sections
@@ -582,6 +698,12 @@ let () =
         names;
       List.filter (fun (n, _) -> List.mem n names) sections
   in
+  (match pool with Some p -> prewarm selected p | None -> ());
   List.iter (fun (_, f) -> f ()) selected;
   write_bench_json "BENCH_shadow.json";
-  banner (Printf.sprintf "done in %.1fs" (Unix.gettimeofday () -. t0))
+  (match pool with Some p -> Pool.shutdown p | None -> ());
+  banner
+    (Printf.sprintf "done in %.1fs (%d domain%s)"
+       (Dbi.Runner.monotonic_s () -. t0)
+       domains
+       (if domains = 1 then "" else "s"))

@@ -8,6 +8,27 @@ let workload_arg =
   in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
 
+let workloads_arg =
+  let doc =
+    "Workloads to profile (one or more). Known: "
+    ^ String.concat ", " (Workloads.Suite.names ())
+    ^ "."
+  in
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"WORKLOAD" ~doc)
+
+let domains_arg =
+  let doc =
+    "Domains for multi-workload invocations: independent runs fan out over a fixed-size domain \
+     pool, results return in submission order and are bit-identical to a sequential run. \
+     Default: the host's recommended domain count (capped at 8)."
+  in
+  Arg.(value & opt int (Pool.recommended ()) & info [ "j"; "domains" ] ~docv:"N" ~doc)
+
+(* [with_domains n f] runs [f pool] with a pool of [n] domains, or with
+   [None] when [n <= 1] (sequential, no domains spawned). *)
+let with_domains n f =
+  if n > 1 then Pool.with_pool ~domains:n (fun p -> f (Some p)) else f None
+
 let scale_arg =
   let parse s =
     match Workloads.Scale.of_string s with

@@ -1,5 +1,8 @@
-(* Compare two saved Sigil profiles (from sigil_run --save-profile):
-   which call paths' computation or true communication moved. *)
+(* Compare saved Sigil profiles (from sigil_run --save-profile): which call
+   paths' computation or true communication moved. Each side may be a
+   comma-separated list of profiles — e.g. the per-shard outputs of a
+   domain-parallel suite run — merged by call path before diffing; the
+   merge is a commutative sum, so shard order never changes the report. *)
 
 open Cmdliner
 
@@ -10,17 +13,24 @@ let run before after limit all =
       prerr_endline e;
       exit 2
   in
-  let deltas = Analysis.Compare.diff (load before) (load after) in
+  let load_all spec = List.map load (String.split_on_char ',' spec) in
+  let deltas = Analysis.Compare.diff_many ~before:(load_all before) ~after:(load_all after) in
   let deltas = if all then deltas else Analysis.Compare.changed deltas in
   if deltas = [] then print_endline "profiles are identical"
   else Analysis.Compare.pp ~limit Format.std_formatter deltas
 
 let cmd =
   let before =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"BEFORE" ~doc:"Baseline profile.")
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BEFORE" ~doc:"Baseline profile (or comma-separated shard profiles).")
   in
   let after =
-    Arg.(required & pos 1 (some string) None & info [] ~docv:"AFTER" ~doc:"New profile.")
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"AFTER" ~doc:"New profile (or comma-separated shard profiles).")
   in
   let all = Arg.(value & flag & info [ "all" ] ~doc:"Include unchanged call paths.") in
   Cmd.v

@@ -3,7 +3,7 @@
 
 open Cmdliner
 
-let run name scale limit bus max_coverage callgrind_out =
+let run name scale limit bus max_coverage callgrind_out domains =
   let workload = Cli_common.resolve name in
   let r = Driver.run_workload ~with_callgrind:true workload scale in
   (match callgrind_out with
@@ -12,7 +12,10 @@ let run name scale limit bus max_coverage callgrind_out =
     Format.printf "callgrind-format profile written to %s@." path
   | None -> ());
   let cdfg = Driver.cdfg r in
-  let trimmed = Analysis.Partition.trim ~bus_bytes_per_cycle:bus ~max_coverage cdfg in
+  let trimmed =
+    Cli_common.with_domains domains (fun pool ->
+        Analysis.Partition.trim ~bus_bytes_per_cycle:bus ~max_coverage ?pool cdfg)
+  in
   let ranked = Analysis.Partition.rank trimmed in
   Format.printf "== partitioning: %s (%s), bus %.1f B/cycle ==@." name
     (Workloads.Scale.name scale) bus;
@@ -60,6 +63,6 @@ let cmd =
     (Cmd.info "sigil_partition" ~doc:"Communication-aware HW/SW partitioning from Sigil profiles")
     Term.(
       const run $ Cli_common.workload_arg $ Cli_common.scale_arg $ Cli_common.limit_arg $ bus
-      $ max_coverage $ callgrind_out)
+      $ max_coverage $ callgrind_out $ Cli_common.domains_arg)
 
 let () = exit (Cmd.eval cmd)

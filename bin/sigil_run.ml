@@ -1,22 +1,12 @@
-(* Run a workload under Sigil and dump the aggregate profile (optionally
-   the event file, a saved profile, a DOT graph, or a raw trace), the
-   tool's primary interface. *)
+(* Run one or more workloads under Sigil and dump the aggregate profiles
+   (optionally the event file, a saved profile, a DOT graph, or a raw
+   trace), the tool's primary interface. Multi-workload invocations fan the
+   independent runs out over a domain pool (-j/--domains); reports print in
+   argument order and are bit-identical to a sequential run. *)
 
 open Cmdliner
 
-let run name scale limit max_chunks stripped events_path edges flat tree save_profile dot_path
-    trace_path =
-  let workload = Cli_common.resolve name in
-  (match trace_path with
-  | Some path ->
-    let m =
-      Dbi.Trace.record path (fun m -> workload.Workloads.Workload.run m scale)
-    in
-    Format.printf "raw trace (%d guest instructions) written to %s@." (Dbi.Machine.now m) path
-  | None -> ());
-  let options = Cli_common.with_max_chunks Sigil.Options.default max_chunks in
-  let options = if events_path <> None then Sigil.Options.with_events options else options in
-  let r = Driver.run_workload ~options ~stripped workload scale in
+let report name scale r =
   let tool = Driver.sigil r in
   let c = Dbi.Machine.counters r.Driver.machine in
   Format.printf "== sigil: %s (%s) ==@." name (Workloads.Scale.name scale);
@@ -25,32 +15,73 @@ let run name scale limit max_chunks stripped events_path edges flat tree save_pr
   Format.printf "shadow footprint: %.1f MB (peak %.1f MB), evictions: %d@.@."
     (float_of_int (Sigil.Tool.shadow_footprint_bytes tool) /. 1e6)
     (float_of_int (Sigil.Tool.shadow_footprint_peak_bytes tool) /. 1e6)
-    (Sigil.Tool.shadow_evictions tool);
-  if flat then Analysis.Flat.pp ~limit Format.std_formatter tool
-  else Sigil.Report.pp ~limit Format.std_formatter tool;
-  if tree then begin
-    Format.printf "@.calltree (inclusive ops, unique bytes in/out):@.";
-    Analysis.Flat.calltree Format.std_formatter tool
-  end;
-  if edges then begin
-    Format.printf "@.communication edges (by unique bytes):@.";
-    Sigil.Report.pp_edges ~limit Format.std_formatter tool
-  end;
-  (match save_profile with
-  | Some path ->
-    Sigil.Profile_io.save tool path;
-    Format.printf "@.profile written to %s@." path
-  | None -> ());
-  (match dot_path with
-  | Some path ->
-    Analysis.Dot.save_cdfg tool path;
-    Format.printf "@.control data flow graph (DOT) written to %s@." path
-  | None -> ());
-  match (events_path, Sigil.Tool.event_log tool) with
-  | Some path, Some log ->
-    Sigil.Event_log.save log path;
-    Format.printf "@.event file (%d records) written to %s@." (Sigil.Event_log.length log) path
-  | Some _, None | None, (Some _ | None) -> ()
+    (Sigil.Tool.shadow_evictions tool)
+
+let run names scale limit max_chunks stripped domains events_path edges flat tree save_profile
+    dot_path trace_path =
+  let workloads = List.map Cli_common.resolve names in
+  (if List.length names > 1 then
+     let single_only =
+       [
+         ("--events", events_path <> None);
+         ("--save-profile", save_profile <> None);
+         ("--dot", dot_path <> None);
+         ("--trace", trace_path <> None);
+       ]
+     in
+     List.iter
+       (fun (flag, set) ->
+         if set then begin
+           Format.eprintf "sigil_run: %s requires a single WORKLOAD@." flag;
+           exit 2
+         end)
+       single_only);
+  (match (trace_path, workloads) with
+  | Some path, workload :: _ ->
+    let m = Dbi.Trace.record path (fun m -> workload.Workloads.Workload.run m scale) in
+    Format.printf "raw trace (%d guest instructions) written to %s@." (Dbi.Machine.now m) path
+  | Some _, [] | None, _ -> ());
+  let options = Cli_common.with_max_chunks Sigil.Options.default max_chunks in
+  let options = if events_path <> None then Sigil.Options.with_events options else options in
+  let runs =
+    Cli_common.with_domains domains (fun pool ->
+        Driver.run_many ?pool
+          (List.map (fun w -> Driver.job ~options ~stripped w scale) workloads))
+  in
+  List.iter2
+    (fun name r ->
+      report name scale r;
+      let tool = Driver.sigil r in
+      if flat then Analysis.Flat.pp ~limit Format.std_formatter tool
+      else Sigil.Report.pp ~limit Format.std_formatter tool;
+      if tree then begin
+        Format.printf "@.calltree (inclusive ops, unique bytes in/out):@.";
+        Analysis.Flat.calltree Format.std_formatter tool
+      end;
+      if edges then begin
+        Format.printf "@.communication edges (by unique bytes):@.";
+        Sigil.Report.pp_edges ~limit Format.std_formatter tool
+      end)
+    names runs;
+  match runs with
+  | [ r ] -> (
+    let tool = Driver.sigil r in
+    (match save_profile with
+    | Some path ->
+      Sigil.Profile_io.save tool path;
+      Format.printf "@.profile written to %s@." path
+    | None -> ());
+    (match dot_path with
+    | Some path ->
+      Analysis.Dot.save_cdfg tool path;
+      Format.printf "@.control data flow graph (DOT) written to %s@." path
+    | None -> ());
+    match (events_path, Sigil.Tool.event_log tool) with
+    | Some path, Some log ->
+      Sigil.Event_log.save log path;
+      Format.printf "@.event file (%d records) written to %s@." (Sigil.Event_log.length log) path
+    | Some _, None | None, (Some _ | None) -> ())
+  | _ -> ()
 
 let cmd =
   let events =
@@ -93,10 +124,10 @@ let cmd =
              needed).")
   in
   Cmd.v
-    (Cmd.info "sigil_run" ~doc:"Profile a workload's function-level communication with Sigil")
+    (Cmd.info "sigil_run" ~doc:"Profile workloads' function-level communication with Sigil")
     Term.(
-      const run $ Cli_common.workload_arg $ Cli_common.scale_arg $ Cli_common.limit_arg
-      $ Cli_common.max_chunks_arg $ Cli_common.stripped_arg $ events $ edges $ flat $ tree
-      $ save_profile $ dot $ trace)
+      const run $ Cli_common.workloads_arg $ Cli_common.scale_arg $ Cli_common.limit_arg
+      $ Cli_common.max_chunks_arg $ Cli_common.stripped_arg $ Cli_common.domains_arg $ events
+      $ edges $ flat $ tree $ save_profile $ dot $ trace)
 
 let () = exit (Cmd.eval cmd)

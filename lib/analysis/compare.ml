@@ -21,8 +21,23 @@ let index snapshot =
     (Sigil.Profile_io.contexts snapshot);
   table
 
-let diff before after =
-  let b = index before and a = index after in
+(* Merging path-indexed tables is a commutative sum, so the aggregate of a
+   snapshot list is independent of list order — shards produced by the
+   domain-parallel suite runner can be diffed without sorting them first. *)
+let index_many snapshots =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun snap ->
+      Hashtbl.iter
+        (fun path (ops, unique) ->
+          match Hashtbl.find_opt table path with
+          | Some (o, u) -> Hashtbl.replace table path (o + ops, u + unique)
+          | None -> Hashtbl.replace table path (ops, unique))
+        (index snap))
+    snapshots;
+  table
+
+let diff_indexed b a =
   let paths = Hashtbl.create 64 in
   Hashtbl.iter (fun p _ -> Hashtbl.replace paths p ()) b;
   Hashtbl.iter (fun p _ -> Hashtbl.replace paths p ()) a;
@@ -56,6 +71,8 @@ let diff before after =
       | c -> c)
     rows
 
+let diff before after = diff_indexed (index before) (index after)
+let diff_many ~before ~after = diff_indexed (index_many before) (index_many after)
 let changed deltas = List.filter (fun d -> d.status <> `Same) deltas
 
 let status_string = function

@@ -20,6 +20,15 @@ type delta = {
     Paths with identical numbers get [`Same]. *)
 val diff : Sigil.Profile_io.snapshot -> Sigil.Profile_io.snapshot -> delta list
 
+(** [diff_many ~before ~after] diffs two {e sets} of snapshots — e.g. the
+    per-shard profiles a domain-parallel suite run produced — by summing
+    each side's per-path aggregates first. The sums are commutative, so the
+    result is independent of the order of either list. *)
+val diff_many :
+  before:Sigil.Profile_io.snapshot list ->
+  after:Sigil.Profile_io.snapshot list ->
+  delta list
+
 (** [changed deltas] drops the [`Same] rows. *)
 val changed : delta list -> delta list
 

@@ -52,35 +52,50 @@ let candidate_of ?(bus_bytes_per_cycle = default_bus_bytes_per_cycle) cdfg total
    leaves (single hot functions like fluidanimate's ComputeForces) are
    exempt. Without this, top-level drivers whose I/O happens inside their
    own sub-tree always win with breakeven 1.0. *)
-let trim ?(bus_bytes_per_cycle = default_bus_bytes_per_cycle) ?(max_coverage = 0.5) cdfg =
+(* The visit is a pure bottom-up reduction per subtree: it returns the best
+   breakeven available anywhere inside (own included) together with the
+   selected leaves of the trimmed subtree, in preorder. Parent selection
+   only ever {e replaces} what the children selected, so subtrees can be
+   reduced independently — [?pool] fans the top two levels of the calltree
+   out across domains; concatenating the per-child results in child order
+   reproduces the sequential preorder bit for bit. *)
+let trim ?(bus_bytes_per_cycle = default_bus_bytes_per_cycle) ?(max_coverage = 0.5) ?pool cdfg =
   let total = Cdfg.total_cycles cdfg in
-  let selected = ref [] in
   let never_merge n = n.Cdfg.name = "<root>" || n.Cdfg.name = "main" || is_syscall n.Cdfg.name in
   let box_allowed n =
     n.Cdfg.children = []
     || float_of_int n.Cdfg.incl_cycles <= max_coverage *. float_of_int (max 1 total)
   in
-  (* returns best breakeven available in v's subtree *)
-  let rec visit ctx ~selecting =
-    let n = Cdfg.node cdfg ctx in
+  let combine n ctx kid_results =
     let own =
       if never_merge n || not (box_allowed n) then infinity
       else breakeven ~bus_bytes_per_cycle cdfg ctx
     in
     let best_inside =
-      List.fold_left
-        (fun acc child -> min acc (subtree_best child))
-        infinity n.Cdfg.children
+      List.fold_left (fun acc (best, _) -> min acc best) infinity kid_results
     in
-    if selecting then
+    let selected =
       if (not (never_merge n)) && own <= best_inside && own < infinity then
-        selected := candidate_of ~bus_bytes_per_cycle cdfg total ctx :: !selected
-      else
-        List.iter (fun child -> ignore (visit child ~selecting:true)) n.Cdfg.children;
-    min own best_inside
-  and subtree_best ctx = visit ctx ~selecting:false in
-  ignore (visit Dbi.Context.root ~selecting:true);
-  let selected = List.rev !selected in
+        [ candidate_of ~bus_bytes_per_cycle cdfg total ctx ]
+      else List.concat_map snd kid_results
+    in
+    (min own best_inside, selected)
+  in
+  let rec visit ctx =
+    let n = Cdfg.node cdfg ctx in
+    combine n ctx (List.map visit n.Cdfg.children)
+  in
+  let rec visit_fanout depth ctx =
+    let n = Cdfg.node cdfg ctx in
+    let kids =
+      match pool with
+      | Some p when depth > 0 && List.length n.Cdfg.children > 1 ->
+        Pool.map p (visit_fanout (depth - 1)) n.Cdfg.children
+      | _ -> List.map (if depth > 0 then visit_fanout (depth - 1) else visit) n.Cdfg.children
+    in
+    combine n ctx kids
+  in
+  let _, selected = visit_fanout 2 Dbi.Context.root in
   let coverage =
     List.fold_left (fun acc (c : candidate) -> acc +. c.coverage) 0.0 selected
   in

@@ -101,6 +101,29 @@ let record_call t ~ctx =
   let s = stats t ctx in
   s.calls <- s.calls + 1
 
+let merge ~into src =
+  for ctx = 0 to Array.length src.stats - 1 do
+    match src.stats.(ctx) with
+    | None -> ()
+    | Some s ->
+      let d = stats into ctx in
+      d.input_unique <- d.input_unique + s.input_unique;
+      d.input_nonunique <- d.input_nonunique + s.input_nonunique;
+      d.local_unique <- d.local_unique + s.local_unique;
+      d.local_nonunique <- d.local_nonunique + s.local_nonunique;
+      d.written <- d.written + s.written;
+      d.int_ops <- d.int_ops + s.int_ops;
+      d.fp_ops <- d.fp_ops + s.fp_ops;
+      d.calls <- d.calls + s.calls
+  done;
+  Hashtbl.iter
+    (fun _ (e : edge) ->
+      let d = edge into e.src e.dst in
+      d.bytes <- d.bytes + e.bytes;
+      d.unique_bytes <- d.unique_bytes + e.unique_bytes)
+    src.edges;
+  into.last_edge <- None
+
 let edges t = Hashtbl.fold (fun _ e acc -> e :: acc) t.edges []
 let in_edges t ctx = List.filter (fun e -> e.dst = ctx) (edges t)
 let out_edges t ctx = List.filter (fun e -> e.src = ctx) (edges t)

@@ -56,6 +56,17 @@ val record_write : t -> ctx:Dbi.Context.id -> bytes:int -> unit
 val record_ops : t -> ctx:Dbi.Context.id -> Dbi.Event.op_kind -> int -> unit
 val record_call : t -> ctx:Dbi.Context.id -> unit
 
+(** [merge ~into src] adds every stat and edge of [src] into [into].
+
+    All fields are sums, so merging is commutative and associative: folding
+    any permutation of a profile list into an empty profile yields the same
+    aggregate — which is what lets the domain-parallel suite runner reduce
+    shard profiles in completion order without losing determinism. Both
+    profiles must index the {e same} context tree (repeated or sharded runs
+    of one deterministic workload); merging across unrelated trees is
+    meaningless. [src] is not modified. *)
+val merge : into:t -> t -> unit
+
 (** All communication edges, unordered. *)
 val edges : t -> edge list
 

@@ -73,27 +73,33 @@ let snapshot_of_tool tool =
   let edge_list = List.sort compare edge_list in
   { names; by_ctx; order = List.rev !order; edge_list }
 
+let render snap =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (magic ^ "\n");
+  let symbol_ids = Hashtbl.fold (fun id _ acc -> id :: acc) snap.names [] in
+  List.iter
+    (fun id -> Printf.bprintf buf "S %d %s\n" id (Hashtbl.find snap.names id))
+    (List.sort compare symbol_ids);
+  List.iter
+    (fun ctx ->
+      let s = Hashtbl.find snap.by_ctx ctx in
+      Printf.bprintf buf "C %d %d %d %d\n" s.ctx s.parent s.fn s.calls;
+      Printf.bprintf buf "T %d %d %d %d %d %d %d %d\n" s.ctx s.input_unique s.input_nonunique
+        s.local_unique s.local_nonunique s.written s.int_ops s.fp_ops)
+    snap.order;
+  List.iter
+    (fun e -> Printf.bprintf buf "X %d %d %d %d\n" e.src e.dst e.bytes e.unique_bytes)
+    snap.edge_list;
+  Buffer.contents buf
+
+let to_string tool = render (snapshot_of_tool tool)
+
 let save tool path =
-  let snap = snapshot_of_tool tool in
+  let text = to_string tool in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc (magic ^ "\n");
-      let symbol_ids = Hashtbl.fold (fun id _ acc -> id :: acc) snap.names [] in
-      List.iter
-        (fun id -> Printf.fprintf oc "S %d %s\n" id (Hashtbl.find snap.names id))
-        (List.sort compare symbol_ids);
-      List.iter
-        (fun ctx ->
-          let s = Hashtbl.find snap.by_ctx ctx in
-          Printf.fprintf oc "C %d %d %d %d\n" s.ctx s.parent s.fn s.calls;
-          Printf.fprintf oc "T %d %d %d %d %d %d %d %d\n" s.ctx s.input_unique
-            s.input_nonunique s.local_unique s.local_nonunique s.written s.int_ops s.fp_ops)
-        snap.order;
-      List.iter
-        (fun e -> Printf.fprintf oc "X %d %d %d %d\n" e.src e.dst e.bytes e.unique_bytes)
-        snap.edge_list)
+    (fun () -> output_string oc text)
 
 let load path =
   let ic = open_in path in

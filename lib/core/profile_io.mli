@@ -41,6 +41,12 @@ type snapshot
 (** [save tool path] writes the finished run's profile. *)
 val save : Tool.t -> string -> unit
 
+(** [to_string tool] is the exact file [save] would write. The rendering is
+    canonical (sorted symbols and edges, preorder contexts), so two runs
+    are bit-identical profiles iff their [to_string] outputs are equal —
+    the equality the parallel-vs-sequential determinism test checks. *)
+val to_string : Tool.t -> string
+
 (** [snapshot_of_tool tool] captures without touching the filesystem. *)
 val snapshot_of_tool : Tool.t -> snapshot
 

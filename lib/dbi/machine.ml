@@ -15,7 +15,8 @@ type t = {
   contexts : Context.t;
   space : Addr_space.t;
   call_overhead : int;
-  mutable tools : Tool.t array;
+  mutable tools : Tool.t array; (* capacity; slots [0, n_tools) are live *)
+  mutable n_tools : int;
   mutable stack : (Context.id * Symbol.id) list;
   mutable cur_ctx : Context.id;
   mutable call_numbers : int array; (* per context, grown on demand *)
@@ -40,6 +41,7 @@ let create ?(stripped = false) ?(call_overhead = 10) () =
     space = Addr_space.create ();
     call_overhead;
     tools = [||];
+    n_tools = 0;
     stack = [];
     cur_ctx = Context.root;
     call_numbers = Array.make 256 0;
@@ -56,7 +58,18 @@ let create ?(stripped = false) ?(call_overhead = 10) () =
     finished = false;
   }
 
-let attach t tool = t.tools <- Array.append t.tools [| tool |]
+(* Amortized growth: attaching is O(1) amortized instead of copying the
+   whole array per tool, so attach-heavy drivers (one tool per run times
+   thousands of runs) stay linear. *)
+let attach t tool =
+  let cap = Array.length t.tools in
+  if t.n_tools = cap then begin
+    let grown = Array.make (max 4 (2 * cap)) tool in
+    Array.blit t.tools 0 grown 0 cap;
+    t.tools <- grown
+  end;
+  t.tools.(t.n_tools) <- tool;
+  t.n_tools <- t.n_tools + 1
 let symbols t = t.symbols
 let contexts t = t.contexts
 let space t = t.space
@@ -100,8 +113,8 @@ let op t kind count =
     | Event.Int_op -> t.int_ops <- t.int_ops + count
     | Event.Fp_op -> t.fp_ops <- t.fp_ops + count);
     let ctx = t.cur_ctx in
-    let tools = t.tools in
-    for i = 0 to Array.length tools - 1 do
+    let tools = t.tools and n = t.n_tools in
+    for i = 0 to n - 1 do
       tools.(i).on_op ~ctx ~kind ~count
     done
   end
@@ -116,8 +129,8 @@ let enter t name =
   t.stack <- (ctx, fn) :: t.stack;
   t.cur_ctx <- ctx;
   t.calls <- t.calls + 1;
-  let tools = t.tools in
-  for i = 0 to Array.length tools - 1 do
+  let tools = t.tools and n = t.n_tools in
+  for i = 0 to n - 1 do
     tools.(i).on_enter ~ctx ~fn ~call
   done;
   ctx
@@ -126,8 +139,8 @@ let leave t =
   match t.stack with
   | [] -> invalid_arg "Machine.leave: empty call stack"
   | (ctx, fn) :: rest ->
-    let tools = t.tools in
-    for i = 0 to Array.length tools - 1 do
+    let tools = t.tools and n = t.n_tools in
+    for i = 0 to n - 1 do
       tools.(i).on_leave ~ctx ~fn
     done;
     t.stack <- rest;
@@ -139,8 +152,8 @@ let read t addr size =
   t.reads <- t.reads + 1;
   t.read_bytes <- t.read_bytes + size;
   let ctx = t.cur_ctx in
-  let tools = t.tools in
-  for i = 0 to Array.length tools - 1 do
+  let tools = t.tools and n = t.n_tools in
+  for i = 0 to n - 1 do
     tools.(i).on_read ~ctx ~addr ~size
   done
 
@@ -150,8 +163,8 @@ let write t addr size =
   t.writes <- t.writes + 1;
   t.written_bytes <- t.written_bytes + size;
   let ctx = t.cur_ctx in
-  let tools = t.tools in
-  for i = 0 to Array.length tools - 1 do
+  let tools = t.tools and n = t.n_tools in
+  for i = 0 to n - 1 do
     tools.(i).on_write ~ctx ~addr ~size
   done
 
@@ -159,8 +172,8 @@ let branch t ~taken =
   t.now <- t.now + 1;
   t.branches <- t.branches + 1;
   let ctx = t.cur_ctx in
-  let tools = t.tools in
-  for i = 0 to Array.length tools - 1 do
+  let tools = t.tools and n = t.n_tools in
+  for i = 0 to n - 1 do
     tools.(i).on_branch ~ctx ~taken
   done
 
@@ -172,9 +185,11 @@ let is_syscall_fn name = String.length name > 4 && String.sub name 0 4 = syscall
 let access_chunk = 8
 
 let syscall t name ~reads ~writes =
-  List.iter
-    (fun r -> if not (Event.range_valid r) then invalid_arg "Machine.syscall: bad range")
-    (reads @ writes);
+  (* validate both lists in place; appending them allocated a throwaway
+     list on every kernel crossing *)
+  let check r = if not (Event.range_valid r) then invalid_arg "Machine.syscall: bad range" in
+  List.iter check reads;
+  List.iter check writes;
   t.syscalls <- t.syscalls + 1;
   let (_ : Context.id) = enter t (syscall_prefix ^ name) in
   let touch inject (addr, len) =
@@ -195,5 +210,7 @@ let finish t =
   if t.stack <> [] then invalid_arg "Machine.finish: calls still live";
   if not t.finished then begin
     t.finished <- true;
-    Array.iter (fun (tool : Tool.t) -> tool.on_finish ()) t.tools
+    for i = 0 to t.n_tools - 1 do
+      t.tools.(i).Tool.on_finish ()
+    done
   end

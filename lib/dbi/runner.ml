@@ -3,7 +3,9 @@ type result = {
   elapsed_s : float;
 }
 
-let monotonic_s () = Unix.gettimeofday ()
+external monotonic_ns : unit -> int64 = "dbi_monotonic_ns"
+
+let monotonic_s () = Int64.to_float (monotonic_ns ()) /. 1e9
 
 let run ?(stripped = false) ?call_overhead ?(tools = []) workload =
   let machine = Machine.create ~stripped ?call_overhead () in

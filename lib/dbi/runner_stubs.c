@@ -1,0 +1,21 @@
+/* Monotonic wall-clock for Runner.elapsed_s and the benchmark harness.
+ *
+ * Unix.gettimeofday is the system's real-time clock: NTP slews and steps
+ * move it, so an instrumented run timed across an adjustment can report a
+ * negative or inflated elapsed time. CLOCK_MONOTONIC never goes backwards.
+ */
+#include <caml/alloc.h>
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value dbi_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+#if defined(CLOCK_MONOTONIC)
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000LL + (int64_t)ts.tv_nsec);
+}

@@ -45,6 +45,59 @@ let run_named ?options ?with_sigil ?with_callgrind name scale =
   | Error _ as e -> e
   | Ok w -> Ok (run_workload ?options ?with_sigil ?with_callgrind w scale)
 
+type job = {
+  j_workload : Workloads.Workload.t;
+  j_scale : Workloads.Scale.t;
+  j_options : Sigil.Options.t;
+  j_with_sigil : bool;
+  j_with_callgrind : bool;
+  j_stripped : bool;
+}
+
+let job ?(options = Sigil.Options.default) ?(with_sigil = true) ?(with_callgrind = false)
+    ?(stripped = false) workload scale =
+  {
+    j_workload = workload;
+    j_scale = scale;
+    j_options = options;
+    j_with_sigil = with_sigil;
+    j_with_callgrind = with_callgrind;
+    j_stripped = stripped;
+  }
+
+let run_job j =
+  run_workload ~options:j.j_options ~with_sigil:j.j_with_sigil ~with_callgrind:j.j_with_callgrind
+    ~stripped:j.j_stripped j.j_workload j.j_scale
+
+(* Every run owns its machine, tool state and PRNG (nothing in the guest or
+   tool layer is global), so fanning a batch across domains is safe and —
+   because [Pool.map] preserves submission order — bit-identical to the
+   sequential loop. *)
+let run_many ?pool jobs =
+  match pool with
+  | None -> List.map run_job jobs
+  | Some p -> Pool.map p run_job jobs
+
+let run_suite ?pool ?options ?with_sigil ?with_callgrind ?stripped specs =
+  let resolved =
+    List.map
+      (fun (name, scale) ->
+        match Workloads.Suite.find name with
+        | Error e -> Error e
+        | Ok w -> Ok (job ?options ?with_sigil ?with_callgrind ?stripped w scale))
+      specs
+  in
+  let runs = run_many ?pool (List.filter_map Result.to_option resolved) in
+  (* zip the results back over the resolution errors, preserving order *)
+  let rec rebuild resolved runs =
+    match (resolved, runs) with
+    | [], [] -> []
+    | Error e :: rest, runs -> Error e :: rebuild rest runs
+    | Ok _ :: rest, run :: runs -> Ok run :: rebuild rest runs
+    | Ok _ :: _, [] | [], _ :: _ -> assert false
+  in
+  rebuild resolved runs
+
 let time_native (w : Workloads.Workload.t) scale =
   (Dbi.Runner.time_native (fun m -> w.Workloads.Workload.run m scale)).Dbi.Runner.elapsed_s
 

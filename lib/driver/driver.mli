@@ -32,6 +32,44 @@ val run_named :
   Workloads.Scale.t ->
   (run, string) result
 
+(** {2 Batch execution}
+
+    One evaluation sweep = many independent [(workload, scale, options)]
+    runs. [run_many]/[run_suite] fan a batch out over a {!Pool} (when one is
+    given) and hand the results back {e in submission order}; because every
+    run's machine, tool and PRNG state is run-local, the parallel results
+    are bit-identical to a sequential loop over the same jobs. *)
+
+type job
+
+(** [job ?options ?with_sigil ?with_callgrind ?stripped w scale] describes
+    one run without executing it (defaults as {!run_workload}). *)
+val job :
+  ?options:Sigil.Options.t ->
+  ?with_sigil:bool ->
+  ?with_callgrind:bool ->
+  ?stripped:bool ->
+  Workloads.Workload.t ->
+  Workloads.Scale.t ->
+  job
+
+(** [run_many ?pool jobs] executes the batch ([pool = None] runs in the
+    calling domain) and returns results in submission order. *)
+val run_many : ?pool:Pool.t -> job list -> run list
+
+(** [run_suite ?pool ... specs] is {!run_many} over named workloads: each
+    [(name, scale)] resolves first ([Error _] for unknown names, which are
+    never run), all resolvable jobs execute as one batch, and results come
+    back aligned with [specs]. *)
+val run_suite :
+  ?pool:Pool.t ->
+  ?options:Sigil.Options.t ->
+  ?with_sigil:bool ->
+  ?with_callgrind:bool ->
+  ?stripped:bool ->
+  (string * Workloads.Scale.t) list ->
+  (run, string) result list
+
 (** [time_native w scale] is the uninstrumented baseline run time. *)
 val time_native : Workloads.Workload.t -> Workloads.Scale.t -> float
 

@@ -1,0 +1,77 @@
+(* The domain pool behind Driver.run_many: sizing, submission-order
+   results, exception propagation out of worker domains, nesting, and
+   shutdown behavior. *)
+
+let test_sizing () =
+  Pool.with_pool ~domains:3 (fun p -> Alcotest.(check int) "size 3" 3 (Pool.size p));
+  Pool.with_pool ~domains:1 (fun p -> Alcotest.(check int) "size 1" 1 (Pool.size p));
+  Alcotest.check_raises "zero domains rejected"
+    (Invalid_argument "Pool.create: domains must be >= 1") (fun () ->
+      ignore (Pool.create ~domains:0 ()));
+  let r = Pool.recommended () in
+  Alcotest.(check bool) "recommended in [1, 8]" true (r >= 1 && r <= 8);
+  Alcotest.(check int) "recommended respects cap" 1 (Pool.recommended ~cap:1 ())
+
+let test_map_ordering () =
+  let items = List.init 100 (fun i -> i) in
+  let expected = List.map (fun i -> i * i) items in
+  Pool.with_pool ~domains:4 (fun p ->
+      Alcotest.(check (list int)) "results in submission order" expected
+        (Pool.map p (fun i -> i * i) items));
+  Pool.with_pool ~domains:1 (fun p ->
+      Alcotest.(check (list int)) "sequential pool agrees" expected
+        (Pool.map p (fun i -> i * i) items))
+
+let test_map_empty_and_run () =
+  Pool.with_pool ~domains:2 (fun p ->
+      Alcotest.(check (list int)) "empty map" [] (Pool.map p (fun i -> i) []);
+      Alcotest.(check (list string)) "run keeps thunk order" [ "a"; "b"; "c" ]
+        (Pool.run p [ (fun () -> "a"); (fun () -> "b"); (fun () -> "c") ]))
+
+let test_exception_propagation () =
+  Pool.with_pool ~domains:3 (fun p ->
+      Alcotest.check_raises "first failing index wins" (Failure "boom 4") (fun () ->
+          ignore
+            (Pool.map p
+               (fun i -> if i >= 4 then failwith (Printf.sprintf "boom %d" i) else i)
+               (List.init 32 (fun i -> i)))))
+
+let test_pool_survives_failed_batch () =
+  Pool.with_pool ~domains:2 (fun p ->
+      (try ignore (Pool.map p (fun () -> failwith "once") [ () ]) with Failure _ -> ());
+      Alcotest.(check (list int)) "pool still works after a failed batch" [ 1; 2; 3 ]
+        (Pool.map p (fun i -> i) [ 1; 2; 3 ]))
+
+let test_nested_map () =
+  Pool.with_pool ~domains:2 (fun p ->
+      let table =
+        Pool.map p (fun row -> Pool.map p (fun col -> (row * 10) + col) [ 0; 1; 2 ]) [ 1; 2; 3 ]
+      in
+      Alcotest.(check (list (list int)))
+        "nested maps complete and stay ordered"
+        [ [ 10; 11; 12 ]; [ 20; 21; 22 ]; [ 30; 31; 32 ] ]
+        table)
+
+let test_shutdown () =
+  let p = Pool.create ~domains:2 () in
+  Pool.shutdown p;
+  Pool.shutdown p;
+  (* idempotent *)
+  Alcotest.check_raises "map after shutdown rejected"
+    (Invalid_argument "Pool.map: pool is shut down") (fun () ->
+      ignore (Pool.map p (fun i -> i) [ 1 ]))
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "sizing" `Quick test_sizing;
+          Alcotest.test_case "map ordering" `Quick test_map_ordering;
+          Alcotest.test_case "empty map and run" `Quick test_map_empty_and_run;
+          Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+          Alcotest.test_case "survives failed batch" `Quick test_pool_survives_failed_batch;
+          Alcotest.test_case "nested map" `Quick test_nested_map;
+          Alcotest.test_case "shutdown" `Quick test_shutdown;
+        ] );
+    ]
