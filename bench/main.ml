@@ -550,6 +550,98 @@ let ablation_granularity () =
   | _ -> assert false
 
 (* ------------------------------------------------------------------ *)
+(* Events: framed binary traces vs text (sizes, encode/decode rates)   *)
+(* ------------------------------------------------------------------ *)
+
+let events_bench () =
+  banner "Events: framed binary event traces vs text (simsmall)";
+  let file_size path = Int64.to_int (In_channel.with_open_bin path In_channel.length) in
+  let rows =
+    (* timed sequentially so the throughput numbers are not cross-domain
+       noise; the instrumented runs themselves come from the cache *)
+    List.map
+      (fun name ->
+        let run = events_run name small in
+        let log = Option.get (Sigil.Tool.event_log (Driver.sigil run)) in
+        let entries = Sigil.Event_log.length log in
+        let txt = Filename.temp_file ("bench_events_" ^ name) ".txt" in
+        let tf = Filename.temp_file ("bench_events_" ^ name) ".tf" in
+        Sigil.Event_log.save log txt;
+        let m = run.Driver.machine in
+        let t0 = Dbi.Runner.monotonic_s () in
+        Tracefile.Writer.write_log ~symbols:(Dbi.Machine.symbols m)
+          ~contexts:(Dbi.Machine.contexts m) log tf;
+        let encode_s = Dbi.Runner.monotonic_s () -. t0 in
+        let r = Tracefile.Reader.open_file tf in
+        let seen = ref 0 in
+        let t1 = Dbi.Runner.monotonic_s () in
+        Tracefile.Reader.iter r (fun _ -> incr seen);
+        let decode_s = Dbi.Runner.monotonic_s () -. t1 in
+        Tracefile.Reader.close r;
+        if !seen <> entries then
+          failwith (Printf.sprintf "events bench: %s decoded %d of %d" name !seen entries);
+        let text_b = file_size txt and bin_b = file_size tf in
+        Sys.remove txt;
+        Sys.remove tf;
+        (name, entries, text_b, bin_b, encode_s, decode_s))
+      parsec
+  in
+  let mrec n s = float_of_int n /. Float.max s 1e-9 /. 1e6 in
+  pf "%-14s %9s %10s %10s %6s %11s %11s\n" "workload" "entries" "text B" "binary B" "ratio"
+    "enc Mrec/s" "dec Mrec/s";
+  List.iter
+    (fun (name, entries, text_b, bin_b, enc_s, dec_s) ->
+      pf "%-14s %9d %10d %10d %5.1fx %11.1f %11.1f\n" name entries text_b bin_b
+        (float_of_int text_b /. float_of_int bin_b)
+        (mrec entries enc_s) (mrec entries dec_s))
+    rows;
+  let tot f = List.fold_left (fun a r -> a + f r) 0 rows in
+  let total_text = tot (fun (_, _, t, _, _, _) -> t) in
+  let total_bin = tot (fun (_, _, _, b, _, _) -> b) in
+  pf "total: %d B text, %d B binary (%.1fx smaller)\n" total_text total_bin
+    (float_of_int total_text /. float_of_int total_bin);
+  (* the sink the tool streams through during a run buffers at most one
+     chunk: demonstrate on the paper's memory-limit workload *)
+  let stream_tf = Filename.temp_file "bench_events_stream" ".tf" in
+  let options = Sigil.Options.with_events (baseline_options "dedup") in
+  let w = Tracefile.Writer.create ~options stream_tf in
+  let _ =
+    Driver.run_workload ~options ~event_sink:(Tracefile.Writer.sink w) (workload "dedup") small
+  in
+  Tracefile.Writer.close w;
+  let stream_records = Tracefile.Writer.entries w in
+  let stream_chunks = Tracefile.Writer.chunks w in
+  let stream_peak = Tracefile.Writer.peak_buffer_bytes w in
+  Sys.remove stream_tf;
+  pf "streaming sink (dedup): %d records in %d chunks, peak buffer %d B (chunk target %d B)\n"
+    stream_records stream_chunks stream_peak Tracefile.Frame.default_chunk_bytes;
+  let oc = open_out "BENCH_events.json" in
+  Printf.fprintf oc "{\n  \"scale\": \"simsmall\",\n  \"workloads\": [\n";
+  List.iteri
+    (fun i (name, entries, text_b, bin_b, enc_s, dec_s) ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"entries\": %d, \"text_bytes\": %d, \"binary_bytes\": %d, \
+         \"ratio\": %.2f, \"encode_mrec_s\": %.2f, \"decode_mrec_s\": %.2f}%s\n"
+        name entries text_b bin_b
+        (float_of_int text_b /. float_of_int bin_b)
+        (mrec entries enc_s) (mrec entries dec_s)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc
+    "  ],\n\
+    \  \"total_text_bytes\": %d,\n\
+    \  \"total_binary_bytes\": %d,\n\
+    \  \"total_ratio\": %.2f,\n\
+    \  \"stream\": {\"workload\": \"dedup\", \"records\": %d, \"chunks\": %d, \
+     \"peak_buffer_bytes\": %d, \"chunk_target_bytes\": %d}\n\
+     }\n"
+    total_text total_bin
+    (float_of_int total_text /. float_of_int total_bin)
+    stream_records stream_chunks stream_peak Tracefile.Frame.default_chunk_bytes;
+  close_out oc;
+  pf "wrote BENCH_events.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Suite: sequential vs domain-parallel full-evaluation wall-clock     *)
 (* ------------------------------------------------------------------ *)
 
@@ -629,6 +721,7 @@ let prewarm selected pool =
         | "fig8" -> List.map (fun n -> thunk (fun () -> reuse_run n small)) parsec
         | "fig12" -> List.map (fun n -> thunk (fun () -> line_run n small)) parsec
         | "fig13" -> List.map (fun n -> thunk (fun () -> events_run n small)) fig13_benchmarks
+        | "events" -> List.map (fun n -> thunk (fun () -> events_run n small)) parsec
         | "micro" ->
           [ thunk (fun () -> paired_run "canneal" small);
             thunk (fun () -> events_run "libquantum" small) ]
@@ -653,6 +746,7 @@ let sections =
     ("readerset", ablation_reader_set);
     ("range", ablation_range_batching);
     ("granularity", ablation_granularity);
+    ("events", events_bench);
     ("suite", suite_bench);
   ]
 

@@ -1,22 +1,13 @@
 (* Critical-path case study (paper §IV-C): dependency chains from the
-   event file, longest path and function-level parallelism limit. *)
+   event file, longest path and function-level parallelism limit. Works
+   from a live run or from a saved event trace (binary or text); binary
+   traces embed the producing run's symbol/context tables, so loaded
+   traces print real function names. *)
 
 open Cmdliner
 
-let run name scale load_path cores =
-  let cp, describe =
-    match load_path with
-    | Some path ->
-      (* post-process a previously saved event file: context ids resolve
-         only against the run that produced it, so print raw ids *)
-      let log = Sigil.Event_log.load path in
-      (Analysis.Critpath.analyze log, fun ctx -> "ctx:" ^ string_of_int ctx)
-    | None ->
-      let workload = Cli_common.resolve name in
-      let r = Driver.run_workload ~options:Sigil.Options.(with_events default) workload scale in
-      (Driver.critpath r, Driver.fn_name r)
-  in
-  Format.printf "== critical path: %s (%s) ==@." name (Workloads.Scale.name scale);
+let report title cp describe cores =
+  Format.printf "== critical path: %s ==@." title;
   Format.printf "serial length (ops):        %d@." (Analysis.Critpath.serial_length cp);
   Format.printf "critical path length (ops): %d@." (Analysis.Critpath.critical_path_length cp);
   Format.printf "max function-level parallelism: %.2fx@.@." (Analysis.Critpath.parallelism cp);
@@ -30,12 +21,54 @@ let run name scale load_path cores =
         (100.0 *. s.Analysis.Critpath.utilization))
     cores
 
+let print_summary title (s : Analysis.Critpath.summary) =
+  Format.printf "== critical path (streaming summary): %s ==@." title;
+  Format.printf "serial length (ops):        %d@." s.Analysis.Critpath.s_serial;
+  Format.printf "critical path length (ops): %d@." s.Analysis.Critpath.s_critical;
+  Format.printf "fragments:                  %d@." s.Analysis.Critpath.s_fragments;
+  Format.printf "max function-level parallelism: %.2fx@."
+    (Analysis.Critpath.summary_parallelism s)
+
+let raw_ctx ctx = "ctx:" ^ string_of_int ctx
+
+let run name scale load_path cores summary =
+  match load_path with
+  | Some path when Tracefile.Reader.is_tracefile path ->
+    let r = Tracefile.Reader.open_file path in
+    Fun.protect
+      ~finally:(fun () -> Tracefile.Reader.close r)
+      (fun () ->
+        let stream = Tracefile.Reader.iter r in
+        if summary then print_summary path (Analysis.Critpath.summarize_stream stream)
+        else
+          let describe =
+            if Tracefile.Reader.has_names r then Tracefile.Reader.fn_name r else raw_ctx
+          in
+          report path (Analysis.Critpath.analyze_stream stream) describe cores)
+  | Some path ->
+    (* text event file: streamed line by line; context ids resolve only
+       against the run that produced it, so print raw ids *)
+    let stream = Sigil.Event_log.iter_file path in
+    if summary then print_summary path (Analysis.Critpath.summarize_stream stream)
+    else report path (Analysis.Critpath.analyze_stream stream) raw_ctx cores
+  | None ->
+    let workload = Cli_common.resolve name in
+    let r = Driver.run_workload ~options:Sigil.Options.(with_events default) workload scale in
+    let title = Printf.sprintf "%s (%s)" name (Workloads.Scale.name scale) in
+    if summary then
+      let log = Option.get (Sigil.Tool.event_log (Driver.sigil r)) in
+      print_summary title (Analysis.Critpath.summarize_stream (Sigil.Event_log.iter log))
+    else report title (Driver.critpath r) (Driver.fn_name r) cores
+
 let cmd =
   let load =
     Arg.(
       value
       & opt (some string) None
-      & info [ "load" ] ~docv:"FILE" ~doc:"Post-process a saved event file instead of running.")
+      & info [ "load" ] ~docv:"FILE"
+          ~doc:
+            "Post-process a saved event trace (binary or text, auto-detected) instead of \
+             running.")
   in
   let cores =
     Arg.(
@@ -44,8 +77,16 @@ let cmd =
       & info [ "cores" ] ~docv:"N"
           ~doc:"Also list-schedule the dependency chains onto $(docv) cores (repeatable).")
   in
+  let summary =
+    Arg.(
+      value & flag
+      & info [ "summary" ]
+          ~doc:
+            "Stream the trace through the O(1)-memory summary pass: serial length, critical \
+             path and parallelism only (no dependency DAG, no path listing or scheduling).")
+  in
   Cmd.v
     (Cmd.info "sigil_critpath" ~doc:"Critical-path analysis over Sigil event files")
-    Term.(const run $ Cli_common.workload_arg $ Cli_common.scale_arg $ load $ cores)
+    Term.(const run $ Cli_common.workload_arg $ Cli_common.scale_arg $ load $ cores $ summary)
 
 let () = exit (Cmd.eval cmd)

@@ -43,10 +43,16 @@ let run names scale limit max_chunks stripped domains events_path edges flat tre
   | Some _, [] | None, _ -> ());
   let options = Cli_common.with_max_chunks Sigil.Options.default max_chunks in
   let options = if events_path <> None then Sigil.Options.with_events options else options in
+  (* events stream straight into the binary chunk writer during the run:
+     the tool buffers at most one chunk, never the whole trace *)
+  let event_writer =
+    Option.map (fun path -> Tracefile.Writer.create ~options path) events_path
+  in
+  let event_sink = Option.map Tracefile.Writer.sink event_writer in
   let runs =
     Cli_common.with_domains domains (fun pool ->
         Driver.run_many ?pool
-          (List.map (fun w -> Driver.job ~options ~stripped w scale) workloads))
+          (List.map (fun w -> Driver.job ~options ?event_sink ~stripped w scale) workloads))
   in
   List.iter2
     (fun name r ->
@@ -76,11 +82,17 @@ let run names scale limit max_chunks stripped domains events_path edges flat tre
       Analysis.Dot.save_cdfg tool path;
       Format.printf "@.control data flow graph (DOT) written to %s@." path
     | None -> ());
-    match (events_path, Sigil.Tool.event_log tool) with
-    | Some path, Some log ->
-      Sigil.Event_log.save log path;
-      Format.printf "@.event file (%d records) written to %s@." (Sigil.Event_log.length log) path
-    | Some _, None | None, (Some _ | None) -> ())
+    match (events_path, event_writer) with
+    | Some path, Some w ->
+      let m = r.Driver.machine in
+      Tracefile.Writer.close ~symbols:(Dbi.Machine.symbols m) ~contexts:(Dbi.Machine.contexts m)
+        w;
+      Format.printf
+        "@.binary event trace (%d records, %d chunks, peak buffer %d B) written to %s@."
+        (Tracefile.Writer.entries w) (Tracefile.Writer.chunks w)
+        (Tracefile.Writer.peak_buffer_bytes w)
+        path
+    | (Some _ | None), (Some _ | None) -> ())
   | _ -> ()
 
 let cmd =
@@ -88,7 +100,11 @@ let cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "events" ] ~docv:"FILE" ~doc:"Also record the sequential event file to $(docv).")
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:
+            "Also record the sequential event trace to $(docv) in the framed binary format, \
+             streamed chunk by chunk during the run (bounded memory). Use sigil_trace convert \
+             to go to/from the line-oriented text format.")
   in
   let edges =
     Arg.(value & flag & info [ "edges" ] ~doc:"Print producer->consumer communication edges.")

@@ -26,6 +26,81 @@ let replay path limit =
   Format.printf "replayed %s: %d instructions@.@." path (Dbi.Machine.now m);
   Sigil.Report.pp ~limit Format.std_formatter (Option.get !tool)
 
+let convert src dst chunk_bytes =
+  match Tracefile.Convert.sniff src with
+  | Tracefile.Convert.Text ->
+    let n = Tracefile.Convert.text_to_binary ?chunk_bytes src dst in
+    Format.printf "converted %s (text) -> %s (binary): %d records@." src dst n
+  | Tracefile.Convert.Binary ->
+    let n = Tracefile.Convert.binary_to_text src dst in
+    Format.printf "converted %s (binary) -> %s (text): %d records@." src dst n
+
+let file_size path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> in_channel_length ic)
+
+let inspect path check =
+  match Tracefile.Convert.sniff path with
+  | Tracefile.Convert.Text ->
+    let n = ref 0 in
+    Sigil.Event_log.iter_file path (fun _ -> incr n);
+    Format.printf "%s: text event trace@." path;
+    Format.printf "  records:   %d@." !n;
+    Format.printf "  file size: %d B@." (file_size path)
+  | Tracefile.Convert.Binary ->
+    let r = Tracefile.Reader.open_file path in
+    Fun.protect
+      ~finally:(fun () -> Tracefile.Reader.close r)
+      (fun () ->
+        Format.printf "%s: binary event trace (version %d)@." path (Tracefile.Reader.version r);
+        Format.printf "  options:     %s@." (Tracefile.Reader.options_tag r);
+        Format.printf "  records:     %d@." (Tracefile.Reader.entry_count r);
+        Format.printf "  chunks:      %d (target %d B)@." (Tracefile.Reader.chunk_count r)
+          (Tracefile.Reader.chunk_bytes r);
+        Format.printf "  symbols:     %d@." (Tracefile.Reader.symbol_count r);
+        Format.printf "  contexts:    %d@." (Tracefile.Reader.context_count r);
+        Format.printf "  file size:   %d B@." (file_size path);
+        if check then begin
+          Tracefile.Reader.validate r;
+          Format.printf "  integrity:   all chunk CRCs and counts verified@."
+        end)
+
+let convert_cmd =
+  let src =
+    Arg.(
+      required & pos 0 (some string) None & info [] ~docv:"SRC" ~doc:"Event trace to convert.")
+  in
+  let dst =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"DST" ~doc:"Output file.")
+  in
+  let chunk_bytes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chunk-bytes" ] ~docv:"N"
+          ~doc:"Target chunk payload size when writing binary (default 65536).")
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:
+         "Convert an event trace between the text and framed binary formats (direction \
+          auto-detected from SRC)")
+    Term.(const convert $ src $ dst $ chunk_bytes)
+
+let inspect_cmd =
+  let path =
+    Arg.(
+      required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Event trace to inspect.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ] ~doc:"Also decode every chunk, verifying CRCs and entry counts.")
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Print an event trace's header, tables and framing metadata")
+    Term.(const inspect $ path $ check)
+
 let record_cmd =
   let path =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE" ~doc:"Trace output file.")
@@ -44,7 +119,7 @@ let replay_cmd =
 
 let cmd =
   Cmd.group
-    (Cmd.info "sigil_trace" ~doc:"Record and replay guest event streams")
-    [ record_cmd; replay_cmd ]
+    (Cmd.info "sigil_trace" ~doc:"Record, replay, convert and inspect guest event streams")
+    [ record_cmd; replay_cmd; convert_cmd; inspect_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -24,27 +24,34 @@ type t = {
   order : built list; (* creation (= topological) order *)
 }
 
+type stream = (Sigil.Event_log.entry -> unit) -> unit
+
 let call_key ctx call = (ctx lsl 40) lor (call land ((1 lsl 40) - 1))
 
-type frame = {
+type 'n frame = {
   f_ctx : Dbi.Context.id;
   f_call : int;
   mutable f_occ : int;
-  mutable f_last : built option; (* previous occurrence of this call *)
-  mutable f_call_pred : built option; (* caller's occurrence that called us *)
+  mutable f_last : 'n option; (* previous occurrence of this call *)
+  mutable f_call_pred : 'n option; (* caller's occurrence that called us *)
   mutable f_pending_ops : int;
   mutable f_pending_xfers : (Dbi.Context.id * int) list; (* (src ctx, src call) *)
 }
 
-let analyze log =
-  let latest_closed : (int, built) Hashtbl.t = Hashtbl.create 1024 in
+(* One pass over the event stream, generic in the per-fragment node
+   representation: [mk] builds a node from its dependencies (the full
+   analysis allocates a DAG record, the O(1) summary keeps just the
+   inclusive length), [incl] reads the inclusive chain length back.
+   Returns (serial length, fragment count, best node). *)
+let pass (type n) ~(mk : ctx:Dbi.Context.id -> call:int -> occ:int -> self:int -> deps:n list -> n)
+    ~(incl : n -> int) (stream : stream) : int * int * n option =
+  let latest_closed : (int, n) Hashtbl.t = Hashtbl.create 1024 in
   let serial = ref 0 in
-  let best : built option ref = ref None in
   let nodes = ref 0 in
-  let order_rev = ref [] in
+  let best : n option ref = ref None in
   let consider b =
     match !best with
-    | Some cur when cur.b_incl >= b.b_incl -> ()
+    | Some cur when incl cur >= incl b -> ()
     | Some _ | None -> best := Some b
   in
   let close_fragment frame =
@@ -58,26 +65,11 @@ let analyze log =
         | Some b -> deps := b :: !deps
         | None -> () (* program input or evicted producer: no ordering *))
       frame.f_pending_xfers;
-    let start, pred =
-      List.fold_left
-        (fun (start, pred) (b : built) ->
-          if b.b_incl > start then (b.b_incl, Some b) else (start, pred))
-        (0, None) !deps
-    in
     let b =
-      {
-        b_id = !nodes;
-        b_ctx = frame.f_ctx;
-        b_call = frame.f_call;
-        b_occ = frame.f_occ;
-        b_self = frame.f_pending_ops;
-        b_incl = start + frame.f_pending_ops;
-        b_pred = pred;
-        b_preds = !deps;
-      }
+      mk ~ctx:frame.f_ctx ~call:frame.f_call ~occ:frame.f_occ ~self:frame.f_pending_ops
+        ~deps:!deps
     in
     incr nodes;
-    order_rev := b :: !order_rev;
     serial := !serial + frame.f_pending_ops;
     frame.f_occ <- frame.f_occ + 1;
     frame.f_last <- Some b;
@@ -104,7 +96,7 @@ let analyze log =
     | frame :: _ -> frame
     | [] -> failwith "Critpath: empty stack"
   in
-  Sigil.Event_log.iter log (fun entry ->
+  stream (fun entry ->
       match entry with
       | Sigil.Event_log.Comp { ctx; call; int_ops; fp_ops } ->
         let frame = top () in
@@ -126,7 +118,7 @@ let analyze log =
         | frame :: rest ->
           if frame.f_ctx <> ctx || frame.f_call <> call then
             failwith "Critpath: Ret does not match the open call";
-          let (_ : built) = close_fragment frame in
+          let (_ : n) = close_fragment frame in
           stack := rest
         | [] -> failwith "Critpath: Ret with empty stack"));
   (* close whatever remains (normally just the synthetic root) *)
@@ -135,7 +127,54 @@ let analyze log =
       if frame.f_pending_ops > 0 || frame.f_pending_xfers <> [] then
         ignore (close_fragment frame))
     !stack;
-  { serial = !serial; best = !best; nodes = !nodes; order = List.rev !order_rev }
+  (!serial, !nodes, !best)
+
+let analyze_stream stream =
+  let id = ref 0 in
+  let order_rev = ref [] in
+  let mk ~ctx ~call ~occ ~self ~deps =
+    let start, pred =
+      List.fold_left
+        (fun (start, pred) (b : built) ->
+          if b.b_incl > start then (b.b_incl, Some b) else (start, pred))
+        (0, None) deps
+    in
+    let b =
+      {
+        b_id = !id;
+        b_ctx = ctx;
+        b_call = call;
+        b_occ = occ;
+        b_self = self;
+        b_incl = start + self;
+        b_pred = pred;
+        b_preds = deps;
+      }
+    in
+    incr id;
+    order_rev := b :: !order_rev;
+    b
+  in
+  let serial, nodes, best = pass ~mk ~incl:(fun b -> b.b_incl) stream in
+  { serial; best; nodes; order = List.rev !order_rev }
+
+let analyze log = analyze_stream (Sigil.Event_log.iter log)
+
+type summary = { s_serial : int; s_critical : int; s_fragments : int }
+
+let summarize_stream stream =
+  let mk ~ctx:_ ~call:_ ~occ:_ ~self ~deps =
+    self + List.fold_left (fun acc d -> max acc d) 0 deps
+  in
+  let serial, nodes, best = pass ~mk ~incl:Fun.id stream in
+  {
+    s_serial = serial;
+    s_critical = (match best with Some incl -> incl | None -> 0);
+    s_fragments = nodes;
+  }
+
+let summary_parallelism s =
+  if s.s_critical = 0 then 1.0 else float_of_int s.s_serial /. float_of_int s.s_critical
 
 let serial_length t = t.serial
 

@@ -28,8 +28,40 @@ type node = {
 
 type t
 
+(** A push-based producer of event entries in trace order: partially
+    applied [Sigil.Event_log.iter log], a streaming binary-trace iterator
+    ([Tracefile.Reader.iter r]), or [Sigil.Event_log.iter_file path] for a
+    text file — the analysis never needs the log materialized. *)
+type stream = (Sigil.Event_log.entry -> unit) -> unit
+
 (** [analyze log] builds every dependency chain and the critical path. *)
 val analyze : Sigil.Event_log.t -> t
+
+(** [analyze_stream stream] is {!analyze} in a single incremental pass
+    over any {!stream}: memory is proportional to the dependency DAG
+    (needed for {!critical_path} and {!schedule}), never to the encoded
+    log, which is consumed entry by entry. *)
+val analyze_stream : stream -> t
+
+(** {2 O(1)-per-fragment summary}
+
+    When only the Fig 13 numbers are wanted, the DAG need not be retained:
+    a fragment's contribution reduces to one int (its inclusive chain
+    length), so the pass keeps just the open call stack and the
+    latest-occurrence table. *)
+
+type summary = {
+  s_serial : int; (** total operations (serial schedule length) *)
+  s_critical : int; (** longest dependent chain *)
+  s_fragments : int; (** occurrence nodes visited *)
+}
+
+(** Single pass, no DAG: bit-identical serial/critical/parallelism to
+    {!analyze} over the same stream. *)
+val summarize_stream : stream -> summary
+
+(** serial / critical (1.0 for an empty program), as {!parallelism}. *)
+val summary_parallelism : summary -> float
 
 (** Total operations in the program (serial schedule length). *)
 val serial_length : t -> int

@@ -11,17 +11,37 @@ type entry =
     }
   | Ret of { ctx : Dbi.Context.id; call : int }
 
-type t = { mutable entries_rev : entry list; mutable n : int }
+type sink = entry -> unit
 
-let create () = { entries_rev = []; n = 0 }
+let tee a b e =
+  a e;
+  b e
+
+(* Growable array; the [dummy] fills unused slots. *)
+type t = { mutable arr : entry array; mutable n : int }
+
+let dummy = Ret { ctx = 0; call = 0 }
+
+let create () = { arr = [||]; n = 0 }
 
 let add t e =
-  t.entries_rev <- e :: t.entries_rev;
+  if t.n = Array.length t.arr then begin
+    let grown = Array.make (max 64 (2 * t.n)) dummy in
+    Array.blit t.arr 0 grown 0 t.n;
+    t.arr <- grown
+  end;
+  t.arr.(t.n) <- e;
   t.n <- t.n + 1
 
-let entries t = List.rev t.entries_rev
+let memory_sink t = add t
 let length t = t.n
-let iter t f = List.iter f (entries t)
+
+let iter t f =
+  for i = 0 to t.n - 1 do
+    f t.arr.(i)
+  done
+
+let entries t = List.init t.n (fun i -> t.arr.(i))
 
 let entry_to_string = function
   | Call { ctx; call } -> Printf.sprintf "C %d %d" ctx call
@@ -55,26 +75,25 @@ let entry_of_string line =
 
 let save t path =
   let oc = open_out path in
-  (try iter t (fun e -> output_string oc (entry_to_string e ^ "\n"))
-   with e ->
-     close_out_noerr oc;
-     raise e);
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> iter t (fun e -> output_string oc (entry_to_string e ^ "\n")))
+
+let iter_file path f =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec loop () =
+        match input_line ic with
+        | line ->
+          if String.trim line <> "" then f (entry_of_string line);
+          loop ()
+        | exception End_of_file -> ()
+      in
+      loop ())
 
 let load path =
-  let ic = open_in path in
   let t = create () in
-  (try
-     let rec loop () =
-       match input_line ic with
-       | line ->
-         if String.trim line <> "" then add t (entry_of_string line);
-         loop ()
-       | exception End_of_file -> ()
-     in
-     loop ()
-   with e ->
-     close_in_noerr ic;
-     raise e);
-  close_in ic;
+  iter_file path (add t);
   t

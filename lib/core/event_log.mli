@@ -14,9 +14,13 @@
     - [Xfer]: bytes flowing from a producer call to the current fragment;
     - [Ret]: the call returned.
 
-    The text serialization is line-oriented ([C]/[O]/[X]/[R] records) so
-    profiles can be post-processed without re-running Sigil — the paper's
-    planned release shipped profile data this way. *)
+    This module is a sink-agnostic facade: the tool pushes entries into an
+    opaque {!sink} as the run produces them, so a consumer chooses where
+    they go — the in-memory log below (tests, small runs), the streaming
+    binary writer in [Tracefile.Writer] (bounded memory regardless of trace
+    length), or both via {!tee}. The line-oriented text serialization
+    ([C]/[O]/[X]/[R] records) remains the interchange format;
+    [Tracefile.Convert] translates between it and the binary format. *)
 
 type entry =
   | Call of { ctx : Dbi.Context.id; call : int }
@@ -31,10 +35,27 @@ type entry =
     }
   | Ret of { ctx : Dbi.Context.id; call : int }
 
+(** {2 Sinks} *)
+
+(** Where produced entries flow. Applied once per entry, in trace order. *)
+type sink = entry -> unit
+
+(** [tee a b] forwards every entry to [a] then [b]. *)
+val tee : sink -> sink -> sink
+
+(** {2 In-memory log}
+
+    Backed by a growable array: [add] is amortized O(1) and {!iter} /
+    {!entries} cost one pass per invocation (no per-call list reversal). *)
+
 type t
 
 val create : unit -> t
 val add : t -> entry -> unit
+
+(** [memory_sink t] is [add t] as a {!sink}. *)
+val memory_sink : t -> sink
+
 val entries : t -> entry list
 val length : t -> int
 val iter : t -> (entry -> unit) -> unit
@@ -50,7 +71,13 @@ val entry_of_string : string -> entry
 
 val save : t -> string -> unit
 
-(** [load path] reads a saved event file.
+(** [iter_file path f] streams a saved text event file record by record in
+    constant memory (blank lines skipped).
+
+    @raise Failure on a malformed file. *)
+val iter_file : string -> (entry -> unit) -> unit
+
+(** [load path] reads a saved event file into memory.
 
     @raise Failure on a malformed file. *)
 val load : string -> t

@@ -27,3 +27,8 @@ let with_line_size t size =
 let with_max_chunks t n =
   if n <= 0 then invalid_arg "Options.with_max_chunks: must be positive";
   { t with max_chunks = Some n }
+
+let fingerprint t =
+  let opt = function None -> "-" | Some n -> string_of_int n in
+  Printf.sprintf "reuse=%b events=%b line=%s max_chunks=%s per_byte=%b" t.reuse_mode
+    t.collect_events (opt t.line_size) (opt t.max_chunks) t.per_byte_shadow

@@ -29,3 +29,8 @@ val with_events : t -> t
 val with_per_byte_shadow : t -> t
 val with_line_size : t -> int -> t
 val with_max_chunks : t -> int -> t
+
+(** [fingerprint t] is a stable one-line rendering of every switch,
+    embedded in trace-file headers so a post-processing tool can tell which
+    configuration produced a trace. *)
+val fingerprint : t -> string

@@ -20,18 +20,28 @@ type t = {
   profile : Profile.t;
   reuse : Reuse.t;
   line : Line_shadow.t option;
-  log : Event_log.t option;
+  log : Event_log.t option; (* in-memory sink, when we own one *)
+  sink : Event_log.sink option; (* where produced events flow *)
   mutable stack : frame list; (* innermost first; bottom = synthetic root *)
 }
 
 let new_frame ctx call =
   { ctx; call; frag_int_ops = 0; frag_fp_ops = 0; frag_xfers = Hashtbl.create 8 }
 
-let create ?(options = Options.default) machine =
+let create ?(options = Options.default) ?event_sink machine =
   let reuse = Reuse.create () in
+  (* an external sink turns event collection on even without the option *)
+  let log, sink =
+    match event_sink with
+    | Some s -> (None, Some s)
+    | None ->
+      if options.Options.collect_events then
+        let log = Event_log.create () in
+        (Some log, Some (Event_log.memory_sink log))
+      else (None, None)
+  in
   let shadow =
-    Shadow.create ~reuse:options.Options.reuse_mode
-      ~track_writer_call:options.Options.collect_events
+    Shadow.create ~reuse:options.Options.reuse_mode ~track_writer_call:(sink <> None)
       ?max_chunks:options.Options.max_chunks ~sink:(Reuse.sink reuse) ()
   in
   {
@@ -44,17 +54,18 @@ let create ?(options = Options.default) machine =
       (match options.Options.line_size with
       | Some size -> Some (Line_shadow.create ~line_size:size ())
       | None -> None);
-    log = (if options.Options.collect_events then Some (Event_log.create ()) else None);
+    log;
+    sink;
     stack = [ new_frame Dbi.Context.root 0 ];
   }
 
 let flush_fragment t frame =
-  match t.log with
+  match t.sink with
   | None -> ()
-  | Some log ->
+  | Some emit ->
     if frame.frag_int_ops > 0 || frame.frag_fp_ops > 0 then
-      Event_log.add log
-        (Comp
+      emit
+        (Event_log.Comp
            {
              ctx = frame.ctx;
              call = frame.call;
@@ -69,8 +80,8 @@ let flush_fragment t frame =
       List.iter
         (fun key ->
           let acc = Hashtbl.find frame.frag_xfers key in
-          Event_log.add log
-            (Xfer
+          emit
+            (Event_log.Xfer
                {
                  src_ctx = xfer_src key;
                  src_call = xfer_call key;
@@ -114,7 +125,7 @@ let byte_read t frame addr =
   in
   Profile.record_read t.profile ~producer:r.Shadow.producer ~consumer:frame.ctx
     ~unique:r.Shadow.unique ~bytes:1;
-  match t.log with
+  match t.sink with
   | None -> ()
   | Some _ ->
     xfer_add frame ~producer:r.Shadow.producer ~producer_call:r.Shadow.producer_call ~bytes:1
@@ -127,7 +138,7 @@ let range_read t frame addr size =
     Shadow.read_range t.shadow ~ctx:frame.ctx ~call:frame.call
       ~now:(Dbi.Machine.now t.machine) addr size
   in
-  let log = t.log <> None in
+  let log = t.sink <> None in
   List.iter
     (fun (run : Shadow.run) ->
       Profile.record_run t.profile ~producer:run.Shadow.r_producer ~consumer:frame.ctx
@@ -148,8 +159,8 @@ let tool t : Dbi.Tool.t =
           let parent = top t in
           flush_fragment t parent;
           Profile.record_call t.profile ~ctx;
-          (match t.log with
-          | Some log -> Event_log.add log (Call { ctx; call })
+          (match t.sink with
+          | Some emit -> emit (Event_log.Call { ctx; call })
           | None -> ());
           t.stack <- new_frame ctx call :: t.stack
         end);
@@ -160,8 +171,8 @@ let tool t : Dbi.Tool.t =
           | [ _root ] -> () (* unbalanced leave; machine validates, be safe *)
           | frame :: rest ->
             flush_fragment t frame;
-            (match t.log with
-            | Some log -> Event_log.add log (Ret { ctx = frame.ctx; call = frame.call })
+            (match t.sink with
+            | Some emit -> emit (Event_log.Ret { ctx = frame.ctx; call = frame.call })
             | None -> ());
             t.stack <- rest
           | [] -> assert false

@@ -12,7 +12,15 @@
 
 type t
 
-val create : ?options:Options.t -> Dbi.Machine.t -> t
+(** [create ?options ?event_sink machine] builds the tool state.
+
+    When [event_sink] is given, event collection is enabled (regardless of
+    [Options.collect_events]) and every produced entry is pushed into the
+    sink as the run executes — nothing is buffered in the tool, so a
+    streaming sink (e.g. [Tracefile.Writer.sink]) keeps memory bounded for
+    arbitrarily long traces; {!event_log} is [None] in that case. Without
+    a sink, [Options.collect_events] selects the in-memory log. *)
+val create : ?options:Options.t -> ?event_sink:Event_log.sink -> Dbi.Machine.t -> t
 
 (** The callback record to attach to the machine. *)
 val tool : t -> Dbi.Tool.t
@@ -29,7 +37,8 @@ val reuse : t -> Reuse.t
 (** Line records; [None] unless line mode was configured. *)
 val line_shadow : t -> Line_shadow.t option
 
-(** Event log; [None] unless [collect_events] was set. *)
+(** The in-memory event log; [None] unless [collect_events] selected it
+    (an external [event_sink] owns the entries instead). *)
 val event_log : t -> Event_log.t option
 
 (** {2 Shadow-memory introspection (Fig 6 data)} *)

@@ -7,15 +7,15 @@ type run = {
   elapsed_s : float;
 }
 
-let run_workload ?(options = Sigil.Options.default) ?(with_sigil = true) ?(with_callgrind = false)
-    ?(stripped = false) (workload : Workloads.Workload.t) scale =
+let run_workload ?(options = Sigil.Options.default) ?event_sink ?(with_sigil = true)
+    ?(with_callgrind = false) ?(stripped = false) (workload : Workloads.Workload.t) scale =
   let sigil_tool = ref None in
   let callgrind_tool = ref None in
   let tools =
     (if with_sigil then
        [
          (fun m ->
-           let t = Sigil.Tool.create ~options m in
+           let t = Sigil.Tool.create ~options ?event_sink m in
            sigil_tool := Some t;
            Sigil.Tool.tool t);
        ]
@@ -49,25 +49,27 @@ type job = {
   j_workload : Workloads.Workload.t;
   j_scale : Workloads.Scale.t;
   j_options : Sigil.Options.t;
+  j_event_sink : Sigil.Event_log.sink option;
   j_with_sigil : bool;
   j_with_callgrind : bool;
   j_stripped : bool;
 }
 
-let job ?(options = Sigil.Options.default) ?(with_sigil = true) ?(with_callgrind = false)
-    ?(stripped = false) workload scale =
+let job ?(options = Sigil.Options.default) ?event_sink ?(with_sigil = true)
+    ?(with_callgrind = false) ?(stripped = false) workload scale =
   {
     j_workload = workload;
     j_scale = scale;
     j_options = options;
+    j_event_sink = event_sink;
     j_with_sigil = with_sigil;
     j_with_callgrind = with_callgrind;
     j_stripped = stripped;
   }
 
 let run_job j =
-  run_workload ~options:j.j_options ~with_sigil:j.j_with_sigil ~with_callgrind:j.j_with_callgrind
-    ~stripped:j.j_stripped j.j_workload j.j_scale
+  run_workload ~options:j.j_options ?event_sink:j.j_event_sink ~with_sigil:j.j_with_sigil
+    ~with_callgrind:j.j_with_callgrind ~stripped:j.j_stripped j.j_workload j.j_scale
 
 (* Every run owns its machine, tool state and PRNG (nothing in the guest or
    tool layer is global), so fanning a batch across domains is safe and —

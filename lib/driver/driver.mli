@@ -11,10 +11,14 @@ type run = {
   elapsed_s : float; (** host seconds for the instrumented run *)
 }
 
-(** [run_workload ?options ?with_sigil ?with_callgrind ?stripped w scale]
-    executes one guest run with the selected tools attached. *)
+(** [run_workload ?options ?event_sink ?with_sigil ?with_callgrind
+    ?stripped w scale] executes one guest run with the selected tools
+    attached. [event_sink] streams produced events out of the tool as the
+    run executes (see [Sigil.Tool.create]); a sink is stateful, so give
+    each run its own. *)
 val run_workload :
   ?options:Sigil.Options.t ->
+  ?event_sink:Sigil.Event_log.sink ->
   ?with_sigil:bool ->
   ?with_callgrind:bool ->
   ?stripped:bool ->
@@ -42,10 +46,12 @@ val run_named :
 
 type job
 
-(** [job ?options ?with_sigil ?with_callgrind ?stripped w scale] describes
-    one run without executing it (defaults as {!run_workload}). *)
+(** [job ?options ?event_sink ?with_sigil ?with_callgrind ?stripped w
+    scale] describes one run without executing it (defaults as
+    {!run_workload}). *)
 val job :
   ?options:Sigil.Options.t ->
+  ?event_sink:Sigil.Event_log.sink ->
   ?with_sigil:bool ->
   ?with_callgrind:bool ->
   ?stripped:bool ->

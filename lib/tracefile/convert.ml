@@ -1,0 +1,27 @@
+type format = Binary | Text
+
+let sniff path = if Reader.is_tracefile path then Binary else Text
+
+let text_to_binary ?chunk_bytes src dst =
+  let w = Writer.create ?chunk_bytes dst in
+  Fun.protect
+    ~finally:(fun () -> Writer.close w)
+    (fun () ->
+      Sigil.Event_log.iter_file src (Writer.add w);
+      Writer.entries w)
+
+let binary_to_text src dst =
+  let r = Reader.open_file src in
+  Fun.protect
+    ~finally:(fun () -> Reader.close r)
+    (fun () ->
+      let oc = open_out dst in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          let n = ref 0 in
+          Reader.iter r (fun e ->
+              output_string oc (Sigil.Event_log.entry_to_string e);
+              output_char oc '\n';
+              incr n);
+          !n))

@@ -1,0 +1,22 @@
+(** Text ↔ binary event-trace conversion.
+
+    Keeps every pre-existing text event file usable with the binary
+    toolchain and lets a binary trace be inspected with line tools. Both
+    directions stream record-by-record in bounded memory. A text trace
+    carries no symbol/context tables, so a binary file produced from one is
+    self-framed but nameless ([Reader.has_names] is false). *)
+
+type format = Binary | Text
+
+(** [sniff path] detects the format from the file magic. *)
+val sniff : string -> format
+
+(** [text_to_binary ?chunk_bytes src dst] returns the entry count.
+
+    @raise Failure on a malformed text record. *)
+val text_to_binary : ?chunk_bytes:int -> string -> string -> int
+
+(** [binary_to_text src dst] returns the entry count.
+
+    @raise Frame.Corrupt on a damaged binary trace. *)
+val binary_to_text : string -> string -> int

@@ -1,0 +1,210 @@
+exception Corrupt of { offset : int; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt { offset; reason } ->
+      Some (Printf.sprintf "Tracefile.Frame.Corrupt at offset %d: %s" offset reason)
+    | _ -> None)
+
+let corrupt ~offset reason = raise (Corrupt { offset; reason })
+
+let magic = "sigiltf1"
+let trailer_magic = "sigilend"
+let version = 1
+let chunk_magic = 0x48434753 (* "SGCH" read as LE u32 *)
+let chunk_header_bytes = 16
+let trailer_bytes = 32
+let default_chunk_bytes = 64 * 1024
+
+let add_u32 buf v =
+  for i = 0 to 3 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let add_u64 buf v =
+  for i = 0 to 7 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let get_u32 b off =
+  let byte i = Char.code (Bytes.get b (off + i)) in
+  byte 0 lor (byte 1 lsl 8) lor (byte 2 lsl 16) lor (byte 3 lsl 24)
+
+let get_u64 b off =
+  let v = ref 0 in
+  for i = 7 downto 0 do
+    v := (!v lsl 8) lor Char.code (Bytes.get b (off + i))
+  done;
+  !v
+
+(* ------------------------------------------------------------------ *)
+(* Entry codec                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let tag_call = 1
+let tag_comp = 2
+let tag_xfer = 3
+let tag_ret = 4
+
+(* Flag bits packed into the tag byte. The stream is highly regular —
+   Comp/Ret (and an Xfer's destination) almost always name the same
+   (ctx, call) as the previous entry, fp op counts are usually zero and
+   most transfers are all-unique — so the common cases cost zero payload
+   bytes beyond the tag itself. *)
+let flag_samepos = 0x08 (* ctx/call equal the running pair: no pos varints *)
+let flag_omit = 0x10 (* Comp: fp_ops = 0; Xfer: unique_bytes = bytes *)
+let flag_samesrc = 0x20 (* Xfer: producer equals the previous transfer's *)
+let flag_samenum = 0x40 (* Comp: int_ops, Xfer: bytes repeat the previous one *)
+let flag_stackpos = 0x80 (* ctx/call equal the tracked open frame (stack top) *)
+
+type delta = {
+  mutable d_ctx : int;
+  mutable d_call : int;
+  mutable s_ctx : int; (* previous transfer's producer: one producer *)
+  mutable s_call : int; (* typically feeds many consecutive consumers *)
+  mutable n_ops : int; (* previous computation's int op count *)
+  mutable n_bytes : int; (* previous transfer's byte count *)
+  mutable stack : (int * int) list;
+      (* open frames seen since the chunk began (Call pushes, Ret pops):
+         after a Ret, the resuming parent's fragment matches the top *)
+}
+
+let delta () =
+  { d_ctx = 0; d_call = 0; s_ctx = 0; s_call = 0; n_ops = 0; n_bytes = 0; stack = [] }
+
+let reset d =
+  d.d_ctx <- 0;
+  d.d_call <- 0;
+  d.s_ctx <- 0;
+  d.s_call <- 0;
+  d.n_ops <- 0;
+  d.n_bytes <- 0;
+  d.stack <- []
+
+let encode_entry d buf (e : Sigil.Event_log.entry) =
+  let tag base ~samepos ~stackpos ~omit ~samesrc ~samenum =
+    Buffer.add_char buf
+      (Char.chr
+         (base
+         lor (if samepos then flag_samepos else 0)
+         lor (if stackpos then flag_stackpos else 0)
+         lor (if omit then flag_omit else 0)
+         lor (if samesrc then flag_samesrc else 0)
+         lor if samenum then flag_samenum else 0))
+  in
+  (* (samepos, stackpos): at most one set — either elides the position *)
+  let classify ctx call =
+    if ctx = d.d_ctx && call = d.d_call then (true, false)
+    else
+      match d.stack with
+      | (c, k) :: _ when c = ctx && k = call -> (false, true)
+      | _ -> (false, false)
+  in
+  let pos ~samepos ~stackpos ctx call =
+    if not (samepos || stackpos) then begin
+      Varint.write_signed buf (ctx - d.d_ctx);
+      Varint.write_signed buf (call - d.d_call)
+    end;
+    d.d_ctx <- ctx;
+    d.d_call <- call
+  in
+  match e with
+  | Call { ctx; call } ->
+    let sp, st = classify ctx call in
+    tag tag_call ~samepos:sp ~stackpos:st ~omit:false ~samesrc:false ~samenum:false;
+    pos ~samepos:sp ~stackpos:st ctx call;
+    d.stack <- (ctx, call) :: d.stack
+  | Comp { ctx; call; int_ops; fp_ops } ->
+    let sp, st = classify ctx call in
+    let sn = int_ops = d.n_ops in
+    tag tag_comp ~samepos:sp ~stackpos:st ~omit:(fp_ops = 0) ~samesrc:false ~samenum:sn;
+    pos ~samepos:sp ~stackpos:st ctx call;
+    if not sn then Varint.write buf int_ops;
+    d.n_ops <- int_ops;
+    if fp_ops <> 0 then Varint.write buf fp_ops
+  | Xfer { src_ctx; src_call; dst_ctx; dst_call; bytes; unique_bytes } ->
+    (* destination is the open call — rebase the running pair to it; the
+       producer repeats the previous transfer's (flag) or is encoded
+       relative to the destination (producers sit near their consumers) *)
+    let sp, st = classify dst_ctx dst_call in
+    let ss = src_ctx = d.s_ctx && src_call = d.s_call in
+    let sn = bytes = d.n_bytes in
+    tag tag_xfer ~samepos:sp ~stackpos:st ~omit:(unique_bytes = bytes) ~samesrc:ss ~samenum:sn;
+    pos ~samepos:sp ~stackpos:st dst_ctx dst_call;
+    if not ss then begin
+      Varint.write_signed buf (src_ctx - dst_ctx);
+      Varint.write_signed buf (src_call - dst_call)
+    end;
+    d.s_ctx <- src_ctx;
+    d.s_call <- src_call;
+    if not sn then Varint.write buf bytes;
+    d.n_bytes <- bytes;
+    if unique_bytes <> bytes then Varint.write buf unique_bytes
+  | Ret { ctx; call } ->
+    let sp, st = classify ctx call in
+    tag tag_ret ~samepos:sp ~stackpos:st ~omit:false ~samesrc:false ~samenum:false;
+    pos ~samepos:sp ~stackpos:st ctx call;
+    (match d.stack with
+    | _ :: tl -> d.stack <- tl
+    | [] -> ())
+
+let decode_pos d ~samepos ~stackpos b ~pos =
+  if samepos then ()
+  else if stackpos then begin
+    match d.stack with
+    | (c, k) :: _ ->
+      d.d_ctx <- c;
+      d.d_call <- k
+    | [] -> failwith "Tracefile: stackpos flag with no open frame"
+  end
+  else begin
+    d.d_ctx <- d.d_ctx + Varint.read_signed b ~pos;
+    d.d_call <- d.d_call + Varint.read_signed b ~pos
+  end;
+  (d.d_ctx, d.d_call)
+
+let decode_entry d b ~pos : Sigil.Event_log.entry =
+  if !pos >= Bytes.length b then raise Varint.Truncated;
+  let byte = Char.code (Bytes.get b !pos) in
+  incr pos;
+  let base = byte land 0x07 in
+  let samepos = byte land flag_samepos <> 0 in
+  let stackpos = byte land flag_stackpos <> 0 in
+  let omit = byte land flag_omit <> 0 in
+  let samesrc = byte land flag_samesrc <> 0 in
+  let samenum = byte land flag_samenum <> 0 in
+  if samesrc && base <> tag_xfer then
+    failwith (Printf.sprintf "Tracefile: unknown entry tag 0x%02x" byte);
+  if samenum && base <> tag_xfer && base <> tag_comp then
+    failwith (Printf.sprintf "Tracefile: unknown entry tag 0x%02x" byte);
+  if base = tag_call then begin
+    let ctx, call = decode_pos d ~samepos ~stackpos b ~pos in
+    d.stack <- (ctx, call) :: d.stack;
+    Call { ctx; call }
+  end
+  else if base = tag_comp then begin
+    let ctx, call = decode_pos d ~samepos ~stackpos b ~pos in
+    let int_ops = if samenum then d.n_ops else Varint.read b ~pos in
+    d.n_ops <- int_ops;
+    let fp_ops = if omit then 0 else Varint.read b ~pos in
+    Comp { ctx; call; int_ops; fp_ops }
+  end
+  else if base = tag_xfer then begin
+    let dst_ctx, dst_call = decode_pos d ~samepos ~stackpos b ~pos in
+    if not samesrc then begin
+      d.s_ctx <- dst_ctx + Varint.read_signed b ~pos;
+      d.s_call <- dst_call + Varint.read_signed b ~pos
+    end;
+    let bytes = if samenum then d.n_bytes else Varint.read b ~pos in
+    d.n_bytes <- bytes;
+    let unique_bytes = if omit then bytes else Varint.read b ~pos in
+    Xfer { src_ctx = d.s_ctx; src_call = d.s_call; dst_ctx; dst_call; bytes; unique_bytes }
+  end
+  else if base = tag_ret then begin
+    let ctx, call = decode_pos d ~samepos ~stackpos b ~pos in
+    (match d.stack with
+    | _ :: tl -> d.stack <- tl
+    | [] -> ());
+    Ret { ctx; call }
+  end
+  else failwith (Printf.sprintf "Tracefile: unknown entry tag 0x%02x" byte)

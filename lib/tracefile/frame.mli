@@ -1,0 +1,72 @@
+(** On-disk layout constants and the chunk-level entry codec of the binary
+    event-trace format (documented in docs/FORMATS.md §6).
+
+    A trace file is: an 8-byte magic + version + options-fingerprint header;
+    a sequence of framed chunks (fixed 16-byte header carrying a chunk
+    magic, entry count, payload length and CRC-32, followed by the
+    varint/delta-encoded payload); the symbol and context tables; a chunk
+    index; and a fixed 32-byte trailer locating the tables and index from
+    the end of the file. Delta state resets at every chunk boundary, so any
+    chunk decodes independently of the others. *)
+
+exception Corrupt of { offset : int; reason : string }
+(** Raised by readers on any structural damage. [offset] is the file offset
+    of the offending chunk (or region), never a generic position. *)
+
+val corrupt : offset:int -> string -> 'a
+
+val magic : string (** 8 bytes, start of file *)
+
+val trailer_magic : string (** 8 bytes, end of file *)
+
+val version : int
+val chunk_magic : int (** u32 framing each chunk header *)
+
+val chunk_header_bytes : int
+val trailer_bytes : int
+val default_chunk_bytes : int (** target payload size per chunk *)
+
+(** {2 Little-endian fixed-width helpers} *)
+
+val add_u32 : Buffer.t -> int -> unit
+val add_u64 : Buffer.t -> int -> unit
+val get_u32 : bytes -> int -> int
+val get_u64 : bytes -> int -> int
+
+(** {2 Entry codec}
+
+    One tag byte per entry, then varints; context and call fields are
+    zigzag deltas against a per-chunk running (ctx, call) pair, which a
+    transfer record rebases to its destination (the consuming call). The
+    tag byte also carries flag bits eliding the common cases: [samepos]
+    (the entry's (ctx, call) equal the running pair — no position varints
+    follow), [stackpos] (they equal the tracked open frame instead — the
+    codec mirrors Call/Ret nesting, so a parent resuming after a return
+    costs no position bytes), [omit] (a computation's fp op count is zero
+    / a transfer is all-unique — the field is not written), [samesrc]
+    (the producer repeats the previous transfer's — otherwise it is
+    encoded relative to the destination) and [samenum] (a computation's
+    int op count / a transfer's byte count repeats the previous one — op
+    and transfer sizes are heavily repetitive). *)
+
+type delta = {
+  mutable d_ctx : int;
+  mutable d_call : int;
+  mutable s_ctx : int;
+  mutable s_call : int;
+  mutable n_ops : int;
+  mutable n_bytes : int;
+  mutable stack : (int * int) list;
+}
+
+val delta : unit -> delta
+
+(** [reset d] zeroes both running pairs — done at every chunk boundary so
+    chunks decode independently. *)
+val reset : delta -> unit
+
+val encode_entry : delta -> Buffer.t -> Sigil.Event_log.entry -> unit
+
+(** @raise Varint.Truncated on a cut-off value.
+    @raise Failure on an unknown tag. *)
+val decode_entry : delta -> bytes -> pos:int ref -> Sigil.Event_log.entry

@@ -1,0 +1,72 @@
+(** Streaming binary event-trace reader.
+
+    Opening a file parses the header, the trailer, the chunk index and the
+    embedded symbol/context tables — but no event data. {!iter} and
+    {!fold} then stream the trace one chunk at a time, so peak memory is
+    one chunk's payload regardless of trace length; {!map_chunks} fans the
+    independent per-chunk decodes out over a {!Pool.t}.
+
+    Every structural failure raises {!Frame.Corrupt} carrying the file
+    offset of the offending chunk: a truncated file is diagnosed at open
+    time (the reader re-scans the chunk framing to name the first
+    incomplete chunk), a payload whose CRC-32 does not match its header is
+    reported when that chunk is decoded. *)
+
+type t
+
+(** [is_tracefile path] sniffs the 8-byte magic — used to tell binary
+    traces from the line-oriented text format. *)
+val is_tracefile : string -> bool
+
+(** @raise Frame.Corrupt on a damaged or truncated file.
+    @raise Sys_error when the file cannot be read. *)
+val open_file : string -> t
+
+val close : t -> unit
+
+(** {2 Metadata (header, trailer, embedded tables)} *)
+
+val version : t -> int
+
+(** The producing run's [Sigil.Options.fingerprint]. *)
+val options_tag : t -> string
+
+val chunk_bytes : t -> int
+val entry_count : t -> int
+val chunk_count : t -> int
+
+(** File offset of each chunk's header, in chunk order (from the index). *)
+val chunk_offsets : t -> int list
+val symbol_count : t -> int
+val context_count : t -> int
+
+(** Whether the trace embeds non-empty symbol and context tables. *)
+val has_names : t -> bool
+
+(** [fn_name t ctx] resolves a context id to its function name through the
+    embedded tables; ["<root>"] for the root context, ["ctx:<id>"] when the
+    trace carries no tables or the id is unknown. *)
+val fn_name : t -> Dbi.Context.id -> string
+
+(** {2 Streaming access} *)
+
+val iter : t -> (Sigil.Event_log.entry -> unit) -> unit
+val fold : t -> init:'a -> f:('a -> Sigil.Event_log.entry -> 'a) -> 'a
+
+(** [to_log t] materializes the whole trace in memory (compatibility with
+    list-based consumers; prefer {!iter}). *)
+val to_log : t -> Sigil.Event_log.t
+
+(** {2 Parallel per-chunk decode}
+
+    Chunks are self-contained (delta state resets at chunk boundaries), so
+    they decode independently. Each task opens its own file descriptor;
+    results come back in chunk order. *)
+
+val map_chunks : ?pool:Pool.t -> t -> (int -> Sigil.Event_log.entry array -> 'a) -> 'a list
+
+(** [validate ?pool t] decodes every chunk (in parallel when a pool is
+    given), checking framing, CRCs and entry counts against the index.
+
+    @raise Frame.Corrupt on the first damaged chunk. *)
+val validate : ?pool:Pool.t -> t -> unit

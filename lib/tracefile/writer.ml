@@ -1,0 +1,138 @@
+type t = {
+  oc : out_channel;
+  chunk_bytes : int;
+  buf : Buffer.t; (* current chunk payload *)
+  head : Buffer.t; (* scratch for headers / trailer sections *)
+  delta : Frame.delta;
+  mutable chunk_entries : int;
+  mutable total_entries : int;
+  mutable index_rev : (int * int * int) list; (* offset, entries, payload bytes *)
+  mutable peak_buffer : int;
+  mutable closed : bool;
+}
+
+let create ?(chunk_bytes = Frame.default_chunk_bytes) ?(options = Sigil.Options.default) path =
+  if chunk_bytes <= 0 then invalid_arg "Tracefile.Writer.create: chunk_bytes must be positive";
+  let oc = open_out_bin path in
+  let head = Buffer.create 256 in
+  Buffer.add_string head Frame.magic;
+  Buffer.add_char head (Char.chr Frame.version);
+  let tag = Sigil.Options.fingerprint options in
+  Varint.write head (String.length tag);
+  Buffer.add_string head tag;
+  Varint.write head chunk_bytes;
+  Buffer.output_buffer oc head;
+  Buffer.clear head;
+  {
+    oc;
+    chunk_bytes;
+    buf = Buffer.create (chunk_bytes + 64);
+    head;
+    delta = Frame.delta ();
+    chunk_entries = 0;
+    total_entries = 0;
+    index_rev = [];
+    peak_buffer = 0;
+    closed = false;
+  }
+
+let flush_chunk t =
+  if t.chunk_entries > 0 then begin
+    let offset = pos_out t.oc in
+    let payload_len = Buffer.length t.buf in
+    let payload = Buffer.to_bytes t.buf in
+    Buffer.clear t.buf;
+    Buffer.clear t.head;
+    Frame.add_u32 t.head Frame.chunk_magic;
+    Frame.add_u32 t.head t.chunk_entries;
+    Frame.add_u32 t.head payload_len;
+    Frame.add_u32 t.head (Crc32.bytes payload ~pos:0 ~len:payload_len);
+    Buffer.output_buffer t.oc t.head;
+    output_bytes t.oc payload;
+    t.index_rev <- (offset, t.chunk_entries, payload_len) :: t.index_rev;
+    t.chunk_entries <- 0;
+    (* each chunk decodes independently *)
+    Frame.reset t.delta
+  end
+
+let add t e =
+  if t.closed then invalid_arg "Tracefile.Writer.add: writer is closed";
+  Frame.encode_entry t.delta t.buf e;
+  t.chunk_entries <- t.chunk_entries + 1;
+  t.total_entries <- t.total_entries + 1;
+  let len = Buffer.length t.buf in
+  if len > t.peak_buffer then t.peak_buffer <- len;
+  if len >= t.chunk_bytes then flush_chunk t
+
+let sink t = add t
+let entries t = t.total_entries
+let chunks t = List.length t.index_rev
+let peak_buffer_bytes t = t.peak_buffer
+
+let write_tables t ~symbols ~contexts =
+  let b = t.head in
+  Buffer.clear b;
+  (match symbols with
+  | None ->
+    Varint.write b 0;
+    Buffer.add_char b '\000'
+  | Some syms ->
+    Varint.write b (Dbi.Symbol.count syms);
+    Buffer.add_char b (if Dbi.Symbol.is_stripped syms then '\001' else '\000');
+    (* Symbol.iter yields the degraded "???:<id>" names on a stripped
+       table, matching what the producing run itself could see *)
+    Dbi.Symbol.iter syms (fun _ name ->
+        Varint.write b (String.length name);
+        Buffer.add_string b name));
+  (match contexts with
+  | None -> Varint.write b 0
+  | Some ctxs ->
+    let count = Dbi.Context.count ctxs in
+    Varint.write b count;
+    (* dense ids; root (0) is implicit, every other node is (parent, fn) *)
+    for ctx = 1 to count - 1 do
+      let parent =
+        match Dbi.Context.parent ctxs ctx with Some p -> p | None -> 0
+      in
+      Varint.write b parent;
+      Varint.write b (Dbi.Context.fn ctxs ctx)
+    done);
+  Buffer.output_buffer t.oc b;
+  Buffer.clear b
+
+let write_index t index =
+  let b = t.head in
+  Buffer.clear b;
+  Varint.write b (List.length index);
+  List.iter
+    (fun (offset, entries, bytes) ->
+      Varint.write b offset;
+      Varint.write b entries;
+      Varint.write b bytes)
+    index;
+  Buffer.output_buffer t.oc b;
+  Buffer.clear b
+
+let close ?symbols ?contexts t =
+  if not t.closed then begin
+    flush_chunk t;
+    let tables_offset = pos_out t.oc in
+    write_tables t ~symbols ~contexts;
+    let index_offset = pos_out t.oc in
+    write_index t (List.rev t.index_rev);
+    let b = t.head in
+    Buffer.clear b;
+    Frame.add_u64 b tables_offset;
+    Frame.add_u64 b index_offset;
+    Frame.add_u64 b t.total_entries;
+    Buffer.add_string b Frame.trailer_magic;
+    Buffer.output_buffer t.oc b;
+    close_out t.oc;
+    t.closed <- true
+  end
+
+let write_log ?chunk_bytes ?options ?symbols ?contexts log path =
+  let w = create ?chunk_bytes ?options path in
+  Fun.protect
+    ~finally:(fun () -> close ?symbols ?contexts w)
+    (fun () -> Sigil.Event_log.iter log (add w))

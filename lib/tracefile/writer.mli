@@ -1,0 +1,50 @@
+(** Streaming binary event-trace writer.
+
+    A writer is a bounded-buffer {!Sigil.Event_log.sink}: entries are
+    varint/delta-encoded into an in-memory chunk buffer that is framed and
+    flushed to disk every time it reaches the chunk target, so the memory
+    held on behalf of the trace never exceeds one chunk (plus one entry)
+    no matter how long the run is. [close] appends the symbol and context
+    tables of the producing run (making the file self-describing for
+    name resolution), the chunk index, and the trailer. *)
+
+type t
+
+(** [create ?chunk_bytes ?options path] opens [path] and writes the header.
+    [options] is fingerprinted into the header ([Sigil.Options.default]
+    when omitted); [chunk_bytes] is the chunk payload target
+    ({!Frame.default_chunk_bytes}). *)
+val create : ?chunk_bytes:int -> ?options:Sigil.Options.t -> string -> t
+
+val add : t -> Sigil.Event_log.entry -> unit
+
+(** [sink w] is [add w] as a sink to pass to [Sigil.Tool.create] or
+    [Driver.run_workload]. *)
+val sink : t -> Sigil.Event_log.sink
+
+(** Entries accepted so far. *)
+val entries : t -> int
+
+(** Chunks flushed so far (not counting the partial one being filled). *)
+val chunks : t -> int
+
+(** High-water mark of the in-memory chunk buffer — bounded by
+    [chunk_bytes] plus one encoded entry. *)
+val peak_buffer_bytes : t -> int
+
+(** [close ?symbols ?contexts w] flushes the final chunk, writes the
+    embedded tables (empty when omitted, e.g. for converted text traces
+    whose producing run is gone), the chunk index and the trailer, and
+    closes the file. Idempotent. *)
+val close : ?symbols:Dbi.Symbol.t -> ?contexts:Dbi.Context.t -> t -> unit
+
+(** [write_log ?chunk_bytes ?options ?symbols ?contexts log path] dumps an
+    in-memory log in one call. *)
+val write_log :
+  ?chunk_bytes:int ->
+  ?options:Sigil.Options.t ->
+  ?symbols:Dbi.Symbol.t ->
+  ?contexts:Dbi.Context.t ->
+  Sigil.Event_log.t ->
+  string ->
+  unit

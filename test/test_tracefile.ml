@@ -1,0 +1,331 @@
+(* Binary event-trace format: varint/codec round-trips (including extreme
+   values), chunk framing, corruption diagnostics with chunk offsets,
+   parallel decode, text<->binary conversion and the size/memory bounds
+   the format exists for. *)
+
+open Sigil
+
+let entry = Alcotest.testable (fun ppf e -> Fmt.string ppf (Event_log.entry_to_string e)) ( = )
+
+let with_temp ext f =
+  let path = Filename.temp_file "sigil_tracefile" ext in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let sample_entries =
+  [
+    Event_log.Comp { ctx = 0; call = 0; int_ops = 10; fp_ops = 0 };
+    Event_log.Call { ctx = 1; call = 1 };
+    Event_log.Comp { ctx = 1; call = 1; int_ops = 10; fp_ops = 2 };
+    Event_log.Xfer
+      { src_ctx = 0; src_call = 0; dst_ctx = 1; dst_call = 1; bytes = 64; unique_bytes = 32 };
+    Event_log.Xfer
+      { src_ctx = 0; src_call = 0; dst_ctx = 1; dst_call = 1; bytes = 64; unique_bytes = 64 };
+    Event_log.Ret { ctx = 1; call = 1 };
+    Event_log.Comp { ctx = 0; call = 0; int_ops = 3; fp_ops = 0 };
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Varints                                                          *)
+(* ---------------------------------------------------------------- *)
+
+let test_varint_cases () =
+  let roundtrip n =
+    let buf = Buffer.create 16 in
+    Tracefile.Varint.write_signed buf n;
+    let b = Buffer.to_bytes buf in
+    let pos = ref 0 in
+    let n' = Tracefile.Varint.read_signed b ~pos in
+    Alcotest.(check int) (Printf.sprintf "signed %d" n) n n';
+    Alcotest.(check int) "consumed all" (Bytes.length b) !pos
+  in
+  List.iter roundtrip
+    [ 0; 1; -1; 63; 64; 127; 128; 16383; 16384; -16384; max_int; min_int; max_int - 1 ];
+  let buf = Buffer.create 16 in
+  Tracefile.Varint.write buf max_int;
+  let b = Buffer.to_bytes buf in
+  Alcotest.(check int) "max_int unsigned" max_int (Tracefile.Varint.read b ~pos:(ref 0))
+
+let test_varint_truncated () =
+  let buf = Buffer.create 16 in
+  Tracefile.Varint.write buf 1_000_000;
+  let b = Bytes.sub (Buffer.to_bytes buf) 0 (Buffer.length buf - 1) in
+  match Tracefile.Varint.read b ~pos:(ref 0) with
+  | exception Tracefile.Varint.Truncated -> ()
+  | v -> Alcotest.failf "truncated varint decoded to %d" v
+
+let qcheck_entry_gen =
+  let open QCheck.Gen in
+  let pos_int = oneof [ int_range 0 1000; int_range 0 max_int ] in
+  let any_int = oneof [ int_range (-1000) 1000; int_range min_int max_int ] in
+  oneof
+    [
+      map2 (fun ctx call -> Event_log.Call { ctx; call }) any_int any_int;
+      map2 (fun ctx call -> Event_log.Ret { ctx; call }) any_int any_int;
+      map3
+        (fun ctx call (int_ops, fp_ops) -> Event_log.Comp { ctx; call; int_ops; fp_ops })
+        any_int any_int
+        (pair pos_int pos_int);
+      map3
+        (fun (src_ctx, src_call) (dst_ctx, dst_call) (bytes, unique_bytes) ->
+          Event_log.Xfer { src_ctx; src_call; dst_ctx; dst_call; bytes; unique_bytes })
+        (pair any_int any_int) (pair any_int any_int) (pair pos_int pos_int);
+    ]
+
+let qcheck_entry =
+  QCheck.make ~print:(fun e -> Event_log.entry_to_string e) qcheck_entry_gen
+
+(* entry -> binary -> entry through the chunk codec, including extreme
+   63-bit values (zigzag varints must round-trip min_int/max_int) *)
+let codec_roundtrip =
+  QCheck.Test.make ~name:"entry binary codec roundtrip" ~count:500
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 50) qcheck_entry)
+    (fun entries ->
+      let buf = Buffer.create 1024 in
+      let d = Tracefile.Frame.delta () in
+      List.iter (Tracefile.Frame.encode_entry d buf) entries;
+      let b = Buffer.to_bytes buf in
+      let d' = Tracefile.Frame.delta () in
+      let pos = ref 0 in
+      let decoded = List.map (fun _ -> Tracefile.Frame.decode_entry d' b ~pos) entries in
+      !pos = Bytes.length b && decoded = entries)
+
+(* ---------------------------------------------------------------- *)
+(* File round-trips                                                 *)
+(* ---------------------------------------------------------------- *)
+
+let write_entries ?chunk_bytes entries path =
+  let w = Tracefile.Writer.create ?chunk_bytes path in
+  List.iter (Tracefile.Writer.add w) entries;
+  Tracefile.Writer.close w;
+  w
+
+let read_entries path =
+  let r = Tracefile.Reader.open_file path in
+  Fun.protect
+    ~finally:(fun () -> Tracefile.Reader.close r)
+    (fun () ->
+      let acc = ref [] in
+      Tracefile.Reader.iter r (fun e -> acc := e :: !acc);
+      List.rev !acc)
+
+let test_file_roundtrip () =
+  with_temp ".tf" (fun path ->
+      let _w = write_entries sample_entries path in
+      Alcotest.(check (list entry)) "roundtrip" sample_entries (read_entries path))
+
+let test_multichunk_roundtrip () =
+  (* tiny chunks force many chunk boundaries; delta state must reset at
+     each so every chunk decodes on its own *)
+  let entries = List.concat (List.init 100 (fun _ -> sample_entries)) in
+  with_temp ".tf" (fun path ->
+      let w = write_entries ~chunk_bytes:64 entries path in
+      Alcotest.(check bool) "several chunks" true (Tracefile.Writer.chunks w > 5);
+      Alcotest.(check (list entry)) "roundtrip" entries (read_entries path);
+      let r = Tracefile.Reader.open_file path in
+      Fun.protect
+        ~finally:(fun () -> Tracefile.Reader.close r)
+        (fun () ->
+          Alcotest.(check int) "entry count" (List.length entries)
+            (Tracefile.Reader.entry_count r);
+          Tracefile.Reader.validate r;
+          (* parallel per-chunk decode sees the same entries in order *)
+          Pool.with_pool ~domains:2 (fun pool ->
+              let per_chunk =
+                Tracefile.Reader.map_chunks ~pool r (fun _ arr -> Array.to_list arr)
+              in
+              Alcotest.(check (list entry)) "map_chunks" entries (List.concat per_chunk))))
+
+let test_qcheck_file_roundtrip =
+  QCheck.Test.make ~name:"file roundtrip (random logs, tiny chunks)" ~count:50
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 200) qcheck_entry)
+    (fun entries ->
+      with_temp ".tf" (fun path ->
+          let _ = write_entries ~chunk_bytes:32 entries path in
+          read_entries path = entries))
+
+(* ---------------------------------------------------------------- *)
+(* Corruption diagnostics                                           *)
+(* ---------------------------------------------------------------- *)
+
+let check_corrupt_at ~expected_offset f =
+  match f () with
+  | exception Tracefile.Frame.Corrupt { offset; _ } ->
+    Alcotest.(check int) "offending chunk offset" expected_offset offset
+  | _ -> Alcotest.fail "damaged file accepted"
+
+let test_truncated_file () =
+  let entries = List.concat (List.init 200 (fun _ -> sample_entries)) in
+  with_temp ".tf" (fun path ->
+      let _ = write_entries ~chunk_bytes:128 entries path in
+      let offsets =
+        let r = Tracefile.Reader.open_file path in
+        Fun.protect
+          ~finally:(fun () -> Tracefile.Reader.close r)
+          (fun () -> Tracefile.Reader.chunk_offsets r)
+      in
+      let last_offset = List.nth offsets (List.length offsets - 1) in
+      (* cut mid-way through the last chunk's payload: the trailer (and
+         index) vanish, so open must re-scan the framing and name the
+         first incomplete chunk *)
+      let data = In_channel.with_open_bin path In_channel.input_all in
+      with_temp ".tf" (fun cut_path ->
+          Out_channel.with_open_bin cut_path (fun oc ->
+              Out_channel.output_string oc (String.sub data 0 (last_offset + 20)));
+          check_corrupt_at ~expected_offset:last_offset (fun () ->
+              Tracefile.Reader.open_file cut_path)))
+
+let test_corrupted_crc () =
+  let entries = List.concat (List.init 200 (fun _ -> sample_entries)) in
+  with_temp ".tf" (fun path ->
+      let _ = write_entries ~chunk_bytes:128 entries path in
+      let victim =
+        let r = Tracefile.Reader.open_file path in
+        Fun.protect
+          ~finally:(fun () -> Tracefile.Reader.close r)
+          (fun () -> List.nth (Tracefile.Reader.chunk_offsets r) 2)
+      in
+      (* flip one payload byte; the trailer and index stay intact, so the
+         file opens fine and the damage surfaces when the chunk decodes *)
+      let data = Bytes.of_string (In_channel.with_open_bin path In_channel.input_all) in
+      let target = victim + 16 + 3 (* inside chunk 2's payload *) in
+      Bytes.set data target (Char.chr (Char.code (Bytes.get data target) lxor 0xff));
+      with_temp ".tf" (fun bad_path ->
+          Out_channel.with_open_bin bad_path (fun oc ->
+              Out_channel.output_bytes oc data);
+          let r = Tracefile.Reader.open_file bad_path in
+          Fun.protect
+            ~finally:(fun () -> Tracefile.Reader.close r)
+            (fun () ->
+              check_corrupt_at ~expected_offset:victim (fun () ->
+                  Tracefile.Reader.iter r ignore);
+              check_corrupt_at ~expected_offset:victim (fun () ->
+                  Tracefile.Reader.validate r))))
+
+let test_not_a_tracefile () =
+  with_temp ".txt" (fun path ->
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc "C 1 1\n");
+      Alcotest.(check bool) "sniff" false (Tracefile.Reader.is_tracefile path);
+      match Tracefile.Reader.open_file path with
+      | exception Tracefile.Frame.Corrupt { offset = 0; _ } -> ()
+      | exception e -> Alcotest.failf "unexpected exception %s" (Printexc.to_string e)
+      | _ -> Alcotest.fail "text file opened as tracefile")
+
+(* ---------------------------------------------------------------- *)
+(* Converter                                                        *)
+(* ---------------------------------------------------------------- *)
+
+let test_convert_roundtrip () =
+  let log = Event_log.create () in
+  List.iter (Event_log.add log) sample_entries;
+  with_temp ".txt" (fun txt ->
+      Event_log.save log txt;
+      with_temp ".tf" (fun tf ->
+          let n = Tracefile.Convert.text_to_binary ~chunk_bytes:64 txt tf in
+          Alcotest.(check int) "entry count" (List.length sample_entries) n;
+          Alcotest.(check bool) "binary sniff" true (Tracefile.Reader.is_tracefile tf);
+          with_temp ".txt" (fun txt2 ->
+              let n' = Tracefile.Convert.binary_to_text tf txt2 in
+              Alcotest.(check int) "entry count back" n n';
+              Alcotest.(check (list entry)) "text->binary->text" sample_entries
+                (Event_log.entries (Event_log.load txt2)))))
+
+(* ---------------------------------------------------------------- *)
+(* Live runs: embedded tables, memory bound, size bound             *)
+(* ---------------------------------------------------------------- *)
+
+let find_workload name =
+  match Workloads.Suite.find name with Ok w -> w | Error e -> Alcotest.fail e
+
+let test_embedded_tables () =
+  with_temp ".tf" (fun path ->
+      let options = Sigil.Options.(with_events default) in
+      let w = Tracefile.Writer.create ~options path in
+      let r =
+        Driver.run_workload ~options ~event_sink:(Tracefile.Writer.sink w)
+          (find_workload "blackscholes") Workloads.Scale.Simsmall
+      in
+      let m = r.Driver.machine in
+      Tracefile.Writer.close ~symbols:(Dbi.Machine.symbols m) ~contexts:(Dbi.Machine.contexts m) w;
+      let rd = Tracefile.Reader.open_file path in
+      Fun.protect
+        ~finally:(fun () -> Tracefile.Reader.close rd)
+        (fun () ->
+          Alcotest.(check bool) "has names" true (Tracefile.Reader.has_names rd);
+          Alcotest.(check string) "root" "<root>" (Tracefile.Reader.fn_name rd Dbi.Context.root);
+          (* every context the trace mentions resolves to the name the
+             producing run would print *)
+          Tracefile.Reader.iter rd (function
+            | Event_log.Call { ctx; _ } ->
+              Alcotest.(check string)
+                (Printf.sprintf "ctx %d" ctx)
+                (Driver.fn_name r ctx) (Tracefile.Reader.fn_name rd ctx)
+            | _ -> ())))
+
+let test_sink_memory_bound () =
+  with_temp ".tf" (fun path ->
+      let options = Sigil.Options.(with_events default) in
+      let chunk_bytes = 4096 in
+      let w = Tracefile.Writer.create ~chunk_bytes ~options path in
+      let _r =
+        Driver.run_workload ~options ~event_sink:(Tracefile.Writer.sink w)
+          (find_workload "blackscholes") Workloads.Scale.Simsmall
+      in
+      Tracefile.Writer.close w;
+      Alcotest.(check bool) "entries flowed" true (Tracefile.Writer.entries w > 10_000);
+      (* the writer may exceed the target only by the one entry that
+         crossed the threshold *)
+      Alcotest.(check bool)
+        (Printf.sprintf "peak buffer %d <= chunk + 64" (Tracefile.Writer.peak_buffer_bytes w))
+        true
+        (Tracefile.Writer.peak_buffer_bytes w <= chunk_bytes + 64))
+
+let test_dedup_size_ratio () =
+  (* acceptance bound: binary >= 4x smaller than text on dedup simsmall *)
+  let options =
+    Sigil.Options.(with_events { default with max_chunks = Some 300 })
+  in
+  let log = Event_log.create () in
+  let _r =
+    Driver.run_workload ~options ~event_sink:(Event_log.memory_sink log)
+      (find_workload "dedup") Workloads.Scale.Simsmall
+  in
+  let size path = In_channel.with_open_bin path In_channel.length |> Int64.to_int in
+  with_temp ".txt" (fun txt ->
+      with_temp ".tf" (fun tf ->
+          Event_log.save log txt;
+          Tracefile.Writer.write_log log tf;
+          let ratio = float_of_int (size txt) /. float_of_int (size tf) in
+          Alcotest.(check bool)
+            (Printf.sprintf "text/binary ratio %.2f >= 4" ratio)
+            true (ratio >= 4.0)))
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "tracefile"
+    [
+      ( "varint",
+        [
+          Alcotest.test_case "unit cases" `Quick test_varint_cases;
+          Alcotest.test_case "truncated" `Quick test_varint_truncated;
+        ] );
+      ("codec", [ qt codec_roundtrip ]);
+      ( "file",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_file_roundtrip;
+          Alcotest.test_case "multi-chunk + parallel decode" `Quick test_multichunk_roundtrip;
+          qt test_qcheck_file_roundtrip;
+        ] );
+      ( "corruption",
+        [
+          Alcotest.test_case "truncated file" `Quick test_truncated_file;
+          Alcotest.test_case "corrupted crc" `Quick test_corrupted_crc;
+          Alcotest.test_case "not a tracefile" `Quick test_not_a_tracefile;
+        ] );
+      ("convert", [ Alcotest.test_case "text<->binary" `Quick test_convert_roundtrip ]);
+      ( "runs",
+        [
+          Alcotest.test_case "embedded tables" `Slow test_embedded_tables;
+          Alcotest.test_case "sink memory bound" `Slow test_sink_memory_bound;
+          Alcotest.test_case "dedup size ratio" `Slow test_dedup_size_ratio;
+        ] );
+    ]
