@@ -649,6 +649,10 @@ let events_bench () =
    comparison measures exactly N domains *)
 let suite_domains = ref (Pool.recommended ())
 
+(* workloads that failed under the suite's Isolate policy; a non-empty
+   count turns into exit code 3 (partial results) at the end of the run *)
+let suite_failures = ref 0
+
 let suite_bench () =
   let domains = !suite_domains in
   banner
@@ -660,20 +664,40 @@ let suite_bench () =
         Driver.job ~options:(baseline_options name) ~with_callgrind:true (workload name) small)
       parsec
   in
-  let fingerprint runs =
+  (* fingerprint the surviving runs only — failed jobs are reported, and
+     the sequential/parallel comparison stays meaningful over the rest *)
+  let fingerprint results =
     Digest.to_hex
       (Digest.string
-         (String.concat "\n" (List.map (fun r -> Sigil.Profile_io.to_string (Driver.sigil r)) runs)))
+         (String.concat "\n"
+            (List.filter_map
+               (function
+                 | Ok r -> Some (Sigil.Profile_io.to_string (Driver.sigil r))
+                 | Error _ -> None)
+               results)))
+  in
+  let report_failures which results =
+    List.iter
+      (function
+        | Ok _ -> ()
+        | Error e ->
+          incr suite_failures;
+          pf "FAILED (%s): %s\n" which (Driver.Run_error.to_string e))
+      results
   in
   let t0 = Dbi.Runner.monotonic_s () in
-  let seq = Driver.run_many (jobs ()) in
+  let seq = Driver.run_many ~fault_policy:Driver.Isolate (jobs ()) in
   let sequential_s = Dbi.Runner.monotonic_s () -. t0 in
   let t1 = Dbi.Runner.monotonic_s () in
   let par =
-    if domains > 1 then Pool.with_pool ~domains (fun p -> Driver.run_many ~pool:p (jobs ()))
-    else Driver.run_many (jobs ())
+    if domains > 1 then
+      Pool.with_pool ~domains (fun p ->
+          Driver.run_many ~pool:p ~fault_policy:Driver.Isolate (jobs ()))
+    else Driver.run_many ~fault_policy:Driver.Isolate (jobs ())
   in
   let parallel_s = Dbi.Runner.monotonic_s () -. t1 in
+  report_failures "sequential" seq;
+  report_failures "parallel" par;
   let fp_seq = fingerprint seq and fp_par = fingerprint par in
   let speedup = sequential_s /. Float.max parallel_s 1e-9 in
   pf "%d workloads, %d domains (host reports %d cores)\n" (List.length parsec) domains
@@ -800,4 +824,7 @@ let () =
     (Printf.sprintf "done in %.1fs (%d domain%s)"
        (Dbi.Runner.monotonic_s () -. t0)
        domains
-       (if domains = 1 then "" else "s"))
+       (if domains = 1 then "" else "s"));
+  (* distinct from a crash (any other non-zero): results above are valid
+     but incomplete *)
+  if !suite_failures > 0 then exit 3

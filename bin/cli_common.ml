@@ -65,3 +65,55 @@ let resolve name =
 let with_max_chunks options = function
   | None -> options
   | Some n -> Sigil.Options.with_max_chunks options n
+
+(* Exit codes: 0 success, 2 usage / unreadable or corrupt input, 3 partial
+   results (some jobs failed under --fault-policy isolate but the rest
+   completed and were reported). *)
+let exit_partial = 3
+
+let fault_policy_arg =
+  let policy_conv = Arg.enum [ ("fail-fast", Driver.Fail_fast); ("isolate", Driver.Isolate) ] in
+  let doc =
+    "What a crashing workload does to the rest of the batch: $(b,fail-fast) aborts everything \
+     on the first failure; $(b,isolate) captures each failure, completes every other workload \
+     and exits with status 3 when any failed."
+  in
+  Arg.(value & opt policy_conv Driver.Fail_fast & info [ "fault-policy" ] ~docv:"POLICY" ~doc)
+
+let timeout_arg =
+  let doc =
+    "Abort a workload once it has held the CPU for $(docv) wall-clock seconds (checked every \
+     ~65k retired guest instructions). Combine with --fault-policy isolate to keep the rest of \
+     the batch."
+  in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+
+let instr_budget_arg =
+  let doc =
+    "Abort a workload once its retired-instruction clock exceeds $(docv) — a deterministic, \
+     platform-independent run bound."
+  in
+  Arg.(value & opt (some int) None & info [ "instr-budget" ] ~docv:"N" ~doc)
+
+let with_guards options ~timeout ~budget =
+  let options =
+    match budget with None -> options | Some n -> Sigil.Options.with_instr_budget options n
+  in
+  match timeout with None -> options | Some s -> Sigil.Options.with_timeout options s
+
+(* [guard f] runs the command body [f ()] with the load-path failure modes
+   every sigil_* binary shares mapped to a one-line stderr message and
+   exit 2: structural trace damage (with its file offset), a cut-off
+   varint, and unreadable files. Anything else is a real bug and keeps its
+   backtrace. *)
+let guard f =
+  try f () with
+  | Tracefile.Frame.Corrupt { offset; reason } ->
+    Format.eprintf "error: corrupt trace at offset %d: %s@." offset reason;
+    exit 2
+  | Tracefile.Varint.Truncated ->
+    Format.eprintf "error: truncated trace (varint cut off)@.";
+    exit 2
+  | Sys_error e | Failure e ->
+    Format.eprintf "error: %s@." e;
+    exit 2

@@ -32,6 +32,7 @@ let print_summary title (s : Analysis.Critpath.summary) =
 let raw_ctx ctx = "ctx:" ^ string_of_int ctx
 
 let run name scale load_path cores summary =
+  Cli_common.guard @@ fun () ->
   match load_path with
   | Some path when Tracefile.Reader.is_tracefile path ->
     let r = Tracefile.Reader.open_file path in

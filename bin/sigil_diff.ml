@@ -7,13 +7,8 @@
 open Cmdliner
 
 let run before after limit all =
-  let load path =
-    try Sigil.Profile_io.load path
-    with Failure e | Sys_error e ->
-      prerr_endline e;
-      exit 2
-  in
-  let load_all spec = List.map load (String.split_on_char ',' spec) in
+  Cli_common.guard @@ fun () ->
+  let load_all spec = List.map Sigil.Profile_io.load (String.split_on_char ',' spec) in
   let deltas = Analysis.Compare.diff_many ~before:(load_all before) ~after:(load_all after) in
   let deltas = if all then deltas else Analysis.Compare.changed deltas in
   if deltas = [] then print_endline "profiles are identical"

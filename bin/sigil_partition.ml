@@ -4,6 +4,7 @@
 open Cmdliner
 
 let run name scale limit bus max_coverage callgrind_out domains =
+  Cli_common.guard @@ fun () ->
   let workload = Cli_common.resolve name in
   let r = Driver.run_workload ~with_callgrind:true workload scale in
   (match callgrind_out with

@@ -17,8 +17,8 @@ let report name scale r =
     (float_of_int (Sigil.Tool.shadow_footprint_peak_bytes tool) /. 1e6)
     (Sigil.Tool.shadow_evictions tool)
 
-let run names scale limit max_chunks stripped domains events_path edges flat tree save_profile
-    dot_path trace_path =
+let run names scale limit max_chunks stripped domains fault_policy timeout budget events_path
+    chunk_bytes checkpoint_every edges flat tree save_profile dot_path trace_path =
   let workloads = List.map Cli_common.resolve names in
   (if List.length names > 1 then
      let single_only =
@@ -43,34 +43,43 @@ let run names scale limit max_chunks stripped domains events_path edges flat tre
   | Some _, [] | None, _ -> ());
   let options = Cli_common.with_max_chunks Sigil.Options.default max_chunks in
   let options = if events_path <> None then Sigil.Options.with_events options else options in
+  let options = Cli_common.with_guards options ~timeout ~budget in
   (* events stream straight into the binary chunk writer during the run:
      the tool buffers at most one chunk, never the whole trace *)
   let event_writer =
-    Option.map (fun path -> Tracefile.Writer.create ~options path) events_path
+    Option.map
+      (fun path -> Tracefile.Writer.create ?chunk_bytes ?checkpoint_every ~options path)
+      events_path
   in
   let event_sink = Option.map Tracefile.Writer.sink event_writer in
-  let runs =
+  let results =
     Cli_common.with_domains domains (fun pool ->
-        Driver.run_many ?pool
+        Driver.run_many ?pool ~fault_policy
           (List.map (fun w -> Driver.job ~options ?event_sink ~stripped w scale) workloads))
   in
+  let failures = ref 0 in
   List.iter2
-    (fun name r ->
-      report name scale r;
-      let tool = Driver.sigil r in
-      if flat then Analysis.Flat.pp ~limit Format.std_formatter tool
-      else Sigil.Report.pp ~limit Format.std_formatter tool;
-      if tree then begin
-        Format.printf "@.calltree (inclusive ops, unique bytes in/out):@.";
-        Analysis.Flat.calltree Format.std_formatter tool
-      end;
-      if edges then begin
-        Format.printf "@.communication edges (by unique bytes):@.";
-        Sigil.Report.pp_edges ~limit Format.std_formatter tool
-      end)
-    names runs;
-  match runs with
-  | [ r ] -> (
+    (fun name result ->
+      match result with
+      | Error e ->
+        incr failures;
+        Format.eprintf "sigil_run: FAILED %s@." (Driver.Run_error.to_string e)
+      | Ok r ->
+        report name scale r;
+        let tool = Driver.sigil r in
+        if flat then Analysis.Flat.pp ~limit Format.std_formatter tool
+        else Sigil.Report.pp ~limit Format.std_formatter tool;
+        if tree then begin
+          Format.printf "@.calltree (inclusive ops, unique bytes in/out):@.";
+          Analysis.Flat.calltree Format.std_formatter tool
+        end;
+        if edges then begin
+          Format.printf "@.communication edges (by unique bytes):@.";
+          Sigil.Report.pp_edges ~limit Format.std_formatter tool
+        end)
+    names results;
+  (match results with
+  | [ Ok r ] -> (
     let tool = Driver.sigil r in
     (match save_profile with
     | Some path ->
@@ -93,7 +102,11 @@ let run names scale limit max_chunks stripped domains events_path edges flat tre
         (Tracefile.Writer.peak_buffer_bytes w)
         path
     | (Some _ | None), (Some _ | None) -> ())
-  | _ -> ()
+  | _ ->
+    (* the run feeding the trace writer failed (or there were several
+       runs): never publish a partial trace under the requested name *)
+    Option.iter Tracefile.Writer.discard event_writer);
+  if !failures > 0 then exit Cli_common.exit_partial
 
 let cmd =
   let events =
@@ -105,6 +118,24 @@ let cmd =
             "Also record the sequential event trace to $(docv) in the framed binary format, \
              streamed chunk by chunk during the run (bounded memory). Use sigil_trace convert \
              to go to/from the line-oriented text format.")
+  in
+  let chunk_bytes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chunk-bytes" ] ~docv:"N"
+          ~doc:
+            "Target payload bytes per --events chunk (default 65536). Smaller chunks cost more \
+             framing overhead but tighten crash-recovery granularity.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "Write a durable index checkpoint (and flush) into the --events trace every $(docv) \
+             chunks (default 16) — the bound on data a hard kill can lose.")
   in
   let edges =
     Arg.(value & flag & info [ "edges" ] ~doc:"Print producer->consumer communication edges.")
@@ -143,7 +174,9 @@ let cmd =
     (Cmd.info "sigil_run" ~doc:"Profile workloads' function-level communication with Sigil")
     Term.(
       const run $ Cli_common.workloads_arg $ Cli_common.scale_arg $ Cli_common.limit_arg
-      $ Cli_common.max_chunks_arg $ Cli_common.stripped_arg $ Cli_common.domains_arg $ events
-      $ edges $ flat $ tree $ save_profile $ dot $ trace)
+      $ Cli_common.max_chunks_arg $ Cli_common.stripped_arg $ Cli_common.domains_arg
+      $ Cli_common.fault_policy_arg $ Cli_common.timeout_arg $ Cli_common.instr_budget_arg
+      $ events $ chunk_bytes $ checkpoint_every $ edges $ flat $ tree $ save_profile $ dot
+      $ trace)
 
 let () = exit (Cmd.eval cmd)

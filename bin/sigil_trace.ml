@@ -27,6 +27,7 @@ let replay path limit =
   Sigil.Report.pp ~limit Format.std_formatter (Option.get !tool)
 
 let convert src dst chunk_bytes =
+  Cli_common.guard @@ fun () ->
   match Tracefile.Convert.sniff src with
   | Tracefile.Convert.Text ->
     let n = Tracefile.Convert.text_to_binary ?chunk_bytes src dst in
@@ -39,7 +40,13 @@ let file_size path =
   let ic = open_in_bin path in
   Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> in_channel_length ic)
 
+let repair src dst chunk_bytes =
+  Cli_common.guard @@ fun () ->
+  let report = Tracefile.Convert.repair ?chunk_bytes src dst in
+  Format.printf "repaired %s -> %s: %a@." src dst Tracefile.Reader.pp_salvage_report report
+
 let inspect path check =
+  Cli_common.guard @@ fun () ->
   match Tracefile.Convert.sniff path with
   | Tracefile.Convert.Text ->
     let n = ref 0 in
@@ -87,6 +94,31 @@ let convert_cmd =
           auto-detected from SRC)")
     Term.(const convert $ src $ dst $ chunk_bytes)
 
+let repair_cmd =
+  let src =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SRC"
+          ~doc:"Damaged binary trace (e.g. a .tmp left behind by a killed run).")
+  in
+  let dst =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"DST" ~doc:"Clean output trace.")
+  in
+  let chunk_bytes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chunk-bytes" ] ~docv:"N"
+          ~doc:"Target chunk payload size for the rewritten trace (default: the source's).")
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:
+         "Salvage a damaged or crash-torn binary trace: recover the longest intact prefix of \
+          chunks and rewrite it as a clean, fully-indexed trace (SRC is untouched)")
+    Term.(const repair $ src $ dst $ chunk_bytes)
+
 let inspect_cmd =
   let path =
     Arg.(
@@ -120,6 +152,6 @@ let replay_cmd =
 let cmd =
   Cmd.group
     (Cmd.info "sigil_trace" ~doc:"Record, replay, convert and inspect guest event streams")
-    [ record_cmd; replay_cmd; convert_cmd; inspect_cmd ]
+    [ record_cmd; replay_cmd; convert_cmd; inspect_cmd; repair_cmd ]
 
 let () = exit (Cmd.eval cmd)

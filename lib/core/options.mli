@@ -18,6 +18,14 @@ type t = {
           range-batched fast path. Reference implementation kept for
           differential testing and the range-vs-per-byte ablation; output
           is identical, only slower. *)
+  instr_budget : int option;
+      (** fault-isolation guard: abort the run (raising
+          [Dbi.Machine.Budget_exhausted]) once the retired-instruction
+          clock exceeds this many instructions; [None] = unlimited *)
+  timeout_s : float option;
+      (** fault-isolation guard: abort the run (raising
+          [Dbi.Machine.Timeout]) once it has held the host CPU for this
+          many wall-clock seconds; [None] = no timeout *)
 }
 
 (** Baseline profiling: no reuse stats, no events, byte granularity,
@@ -29,6 +37,8 @@ val with_events : t -> t
 val with_per_byte_shadow : t -> t
 val with_line_size : t -> int -> t
 val with_max_chunks : t -> int -> t
+val with_instr_budget : t -> int -> t
+val with_timeout : t -> float -> t
 
 (** [fingerprint t] is a stable one-line rendering of every switch,
     embedded in trace-file headers so a post-processing tool can tell which

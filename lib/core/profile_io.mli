@@ -38,7 +38,10 @@ type edge = {
 
 type snapshot
 
-(** [save tool path] writes the finished run's profile. *)
+(** [save tool path] writes the finished run's profile, atomically: the
+    text goes to [path ^ ".tmp"] and is renamed over [path] only once
+    complete, so [path] never holds a torn profile (the .tmp is removed on
+    error). *)
 val save : Tool.t -> string -> unit
 
 (** [to_string tool] is the exact file [save] would write. The rendering is

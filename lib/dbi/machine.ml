@@ -1,3 +1,18 @@
+exception Budget_exhausted of { budget : int; now : int }
+exception Timeout of { limit_s : float; now : int }
+
+let () =
+  Printexc.register_printer (function
+    | Budget_exhausted { budget; now } ->
+      Some (Printf.sprintf "Dbi.Machine.Budget_exhausted (budget %d, clock %d)" budget now)
+    | Timeout { limit_s; now } ->
+      Some (Printf.sprintf "Dbi.Machine.Timeout (limit %gs, clock %d)" limit_s now)
+    | _ -> None)
+
+external monotonic_ns : unit -> int64 = "dbi_monotonic_ns"
+
+let monotonic_s () = Int64.to_float (monotonic_ns ()) /. 1e9
+
 type counters = {
   int_ops : int;
   fp_ops : int;
@@ -31,10 +46,28 @@ type t = {
   mutable calls : int;
   mutable syscalls : int;
   mutable finished : bool;
+  budget : int; (* max_int = unlimited *)
+  timeout_s : float; (* infinity = none *)
+  started_s : float;
+  mutable next_check : int; (* clock value at which to re-check the guards *)
 }
 
-let create ?(stripped = false) ?(call_overhead = 10) () =
+(* How many clock ticks may pass between wall-clock probes when a timeout
+   is armed: rare enough that the monotonic read never shows up in the
+   event hot path, frequent enough that a runaway guest is caught within
+   a fraction of a second. *)
+let timeout_probe_interval = 1 lsl 16
+
+let create ?(stripped = false) ?(call_overhead = 10) ?budget ?timeout_s () =
+  (match budget with
+  | Some b when b <= 0 -> invalid_arg "Machine.create: budget must be positive"
+  | Some _ | None -> ());
+  (match timeout_s with
+  | Some s when s < 0.0 -> invalid_arg "Machine.create: negative timeout"
+  | Some _ | None -> ());
   if call_overhead < 0 then invalid_arg "Machine.create: negative call overhead";
+  let budget = Option.value budget ~default:max_int in
+  let timeout_s = Option.value timeout_s ~default:infinity in
   {
     symbols = Symbol.create ~stripped ();
     contexts = Context.create ();
@@ -56,7 +89,22 @@ let create ?(stripped = false) ?(call_overhead = 10) () =
     calls = 0;
     syscalls = 0;
     finished = false;
+    budget;
+    timeout_s;
+    started_s = (if timeout_s < infinity then monotonic_s () else 0.0);
+    next_check = (if timeout_s < infinity then 0 else budget);
   }
+
+(* One [now >= next_check] comparison per clock bump is all the guards
+   cost; this slow path runs only at the budget boundary and at timeout
+   probe points. *)
+let check_limits t =
+  if t.now > t.budget then raise (Budget_exhausted { budget = t.budget; now = t.now });
+  if t.timeout_s < infinity then begin
+    if monotonic_s () -. t.started_s > t.timeout_s then
+      raise (Timeout { limit_s = t.timeout_s; now = t.now });
+    t.next_check <- min t.budget (t.now + timeout_probe_interval)
+  end
 
 (* Amortized growth: attaching is O(1) amortized instead of copying the
    whole array per tool, so attach-heavy drivers (one tool per run times
@@ -109,6 +157,7 @@ let op t kind count =
   if count < 0 then invalid_arg "Machine.op: negative count";
   if count > 0 then begin
     t.now <- t.now + count;
+    if t.now >= t.next_check then check_limits t;
     (match kind with
     | Event.Int_op -> t.int_ops <- t.int_ops + count
     | Event.Fp_op -> t.fp_ops <- t.fp_ops + count);
@@ -149,6 +198,7 @@ let leave t =
 let read t addr size =
   if size <= 0 then invalid_arg "Machine.read: size must be positive";
   t.now <- t.now + 1;
+  if t.now >= t.next_check then check_limits t;
   t.reads <- t.reads + 1;
   t.read_bytes <- t.read_bytes + size;
   let ctx = t.cur_ctx in
@@ -160,6 +210,7 @@ let read t addr size =
 let write t addr size =
   if size <= 0 then invalid_arg "Machine.write: size must be positive";
   t.now <- t.now + 1;
+  if t.now >= t.next_check then check_limits t;
   t.writes <- t.writes + 1;
   t.written_bytes <- t.written_bytes + size;
   let ctx = t.cur_ctx in
@@ -170,6 +221,7 @@ let write t addr size =
 
 let branch t ~taken =
   t.now <- t.now + 1;
+  if t.now >= t.next_check then check_limits t;
   t.branches <- t.branches + 1;
   let ctx = t.cur_ctx in
   let tools = t.tools and n = t.n_tools in

@@ -12,6 +12,21 @@
 
 type t
 
+(** {2 Run guards}
+
+    Long or runaway guest runs can be bounded in two platform-independent
+    ways: a cap on the retired-instruction clock and a wall-clock timeout.
+    Both raise out of the event-injection call that crossed the limit, so
+    a driver running a batch under [Driver.Isolate] captures them as
+    structured per-job errors while the remaining jobs proceed. *)
+
+exception Budget_exhausted of { budget : int; now : int }
+(** The retired-instruction clock passed the configured budget. *)
+
+exception Timeout of { limit_s : float; now : int }
+(** The run held the host CPU longer than the configured wall-clock limit
+    (checked every ~65k retired instructions, so the overshoot is tiny). *)
+
 (** Aggregate event counters, available even with no tool attached (the
     "native" run of the overhead experiments still knows its own size). *)
 type counters = {
@@ -26,13 +41,16 @@ type counters = {
   syscalls : int;
 }
 
-(** [create ~stripped ~call_overhead ()] builds a fresh machine with no
-    tools attached. [stripped] simulates a binary without debug symbols;
-    [call_overhead] (default 10) is the caller-side instruction cost of a
-    call sequence (argument setup, save/restore), charged to the caller's
-    context before each [enter] — this is what bounds function-level
-    parallelism the way real call overhead does. *)
-val create : ?stripped:bool -> ?call_overhead:int -> unit -> t
+(** [create ~stripped ~call_overhead ~budget ~timeout_s ()] builds a fresh
+    machine with no tools attached. [stripped] simulates a binary without
+    debug symbols; [call_overhead] (default 10) is the caller-side
+    instruction cost of a call sequence (argument setup, save/restore),
+    charged to the caller's context before each [enter] — this is what
+    bounds function-level parallelism the way real call overhead does.
+    [budget] arms the retired-instruction guard ({!Budget_exhausted});
+    [timeout_s] arms the wall-clock guard ({!Timeout}), measured from
+    machine creation. *)
+val create : ?stripped:bool -> ?call_overhead:int -> ?budget:int -> ?timeout_s:float -> unit -> t
 
 (** [attach t tool] adds a tool; events flow to tools in attachment order. *)
 val attach : t -> Tool.t -> unit

@@ -19,10 +19,15 @@ val monotonic_s : unit -> float
 
 (** [run ~stripped ~tools workload] executes [workload machine] with every
     tool in [tools] attached (tool constructors receive the machine first,
-    Valgrind-style). [Machine.finish] is called on normal return. *)
+    Valgrind-style). [Machine.finish] is called on normal return.
+    [budget] / [timeout_s] arm the machine's run guards; when a guard
+    trips, the corresponding {!Machine.Budget_exhausted} or
+    {!Machine.Timeout} escapes from this call. *)
 val run :
   ?stripped:bool ->
   ?call_overhead:int ->
+  ?budget:int ->
+  ?timeout_s:float ->
   ?tools:(Machine.t -> Tool.t) list ->
   (Machine.t -> unit) ->
   result

@@ -7,6 +7,35 @@ type run = {
   elapsed_s : float;
 }
 
+type fault_policy = Fail_fast | Isolate
+
+module Run_error = struct
+  type cause =
+    | Raised of string
+    | Timeout of { limit_s : float; now : int }
+    | Budget_exhausted of { budget : int; now : int }
+    | Unresolved of string
+
+  type t = {
+    workload : string;
+    scale : Workloads.Scale.t;
+    cause : cause;
+    backtrace : string;
+  }
+
+  let cause_to_string = function
+    | Raised msg -> msg
+    | Timeout { limit_s; now } ->
+      Printf.sprintf "timed out after %gs (retired-instruction clock %d)" limit_s now
+    | Budget_exhausted { budget; now } ->
+      Printf.sprintf "instruction budget %d exhausted (clock %d)" budget now
+    | Unresolved msg -> msg
+
+  let to_string e =
+    Printf.sprintf "%s@%s: %s" e.workload (Workloads.Scale.name e.scale)
+      (cause_to_string e.cause)
+end
+
 let run_workload ?(options = Sigil.Options.default) ?event_sink ?(with_sigil = true)
     ?(with_callgrind = false) ?(stripped = false) (workload : Workloads.Workload.t) scale =
   let sigil_tool = ref None in
@@ -30,7 +59,11 @@ let run_workload ?(options = Sigil.Options.default) ?event_sink ?(with_sigil = t
       ]
     else []
   in
-  let r = Dbi.Runner.run ~stripped ~tools (fun m -> workload.Workloads.Workload.run m scale) in
+  let r =
+    Dbi.Runner.run ~stripped ?budget:options.Sigil.Options.instr_budget
+      ?timeout_s:options.Sigil.Options.timeout_s ~tools (fun m ->
+        workload.Workloads.Workload.run m scale)
+  in
   {
     workload;
     scale;
@@ -71,31 +104,59 @@ let run_job j =
   run_workload ~options:j.j_options ?event_sink:j.j_event_sink ~with_sigil:j.j_with_sigil
     ~with_callgrind:j.j_with_callgrind ~stripped:j.j_stripped j.j_workload j.j_scale
 
+let classify = function
+  | Dbi.Machine.Timeout { limit_s; now } -> Run_error.Timeout { limit_s; now }
+  | Dbi.Machine.Budget_exhausted { budget; now } -> Run_error.Budget_exhausted { budget; now }
+  | e -> Run_error.Raised (Printexc.to_string e)
+
+(* Under [Isolate] the exception (with its backtrace) is captured inside the
+   task, so from [Pool]'s point of view every task returns normally — a
+   crashing workload can never take the rest of the batch down with it. *)
+let attempt j =
+  match run_job j with
+  | r -> Ok r
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    Error
+      {
+        Run_error.workload = j.j_workload.Workloads.Workload.name;
+        scale = j.j_scale;
+        cause = classify e;
+        backtrace = Printexc.raw_backtrace_to_string bt;
+      }
+
 (* Every run owns its machine, tool state and PRNG (nothing in the guest or
    tool layer is global), so fanning a batch across domains is safe and —
    because [Pool.map] preserves submission order — bit-identical to the
    sequential loop. *)
-let run_many ?pool jobs =
+let run_many ?pool ?(fault_policy = Fail_fast) jobs =
+  let task =
+    match fault_policy with
+    | Fail_fast -> fun j -> Ok (run_job j)
+    | Isolate -> attempt
+  in
   match pool with
-  | None -> List.map run_job jobs
-  | Some p -> Pool.map p run_job jobs
+  | None -> List.map task jobs
+  | Some p -> Pool.map p task jobs
 
-let run_suite ?pool ?options ?with_sigil ?with_callgrind ?stripped specs =
+let run_suite ?pool ?fault_policy ?options ?with_sigil ?with_callgrind ?stripped specs =
   let resolved =
     List.map
       (fun (name, scale) ->
         match Workloads.Suite.find name with
-        | Error e -> Error e
+        | Error e ->
+          Error
+            { Run_error.workload = name; scale; cause = Run_error.Unresolved e; backtrace = "" }
         | Ok w -> Ok (job ?options ?with_sigil ?with_callgrind ?stripped w scale))
       specs
   in
-  let runs = run_many ?pool (List.filter_map Result.to_option resolved) in
+  let runs = run_many ?pool ?fault_policy (List.filter_map Result.to_option resolved) in
   (* zip the results back over the resolution errors, preserving order *)
   let rec rebuild resolved runs =
     match (resolved, runs) with
     | [], [] -> []
     | Error e :: rest, runs -> Error e :: rebuild rest runs
-    | Ok _ :: rest, run :: runs -> Ok run :: rebuild rest runs
+    | Ok _ :: rest, run :: runs -> run :: rebuild rest runs
     | Ok _ :: _, [] | [], _ :: _ -> assert false
   in
   rebuild resolved runs

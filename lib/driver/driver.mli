@@ -44,6 +44,35 @@ val run_named :
     run's machine, tool and PRNG state is run-local, the parallel results
     are bit-identical to a sequential loop over the same jobs. *)
 
+(** What a crashing job does to the rest of its batch. [Fail_fast]
+    propagates the first exception (in submission order) out of
+    [run_many], discarding the batch — the historical behaviour.
+    [Isolate] captures each job's failure as a {!Run_error.t} and runs
+    every other job to completion; surviving runs are bit-identical to a
+    batch that never contained the crasher. *)
+type fault_policy = Fail_fast | Isolate
+
+(** Structured description of one failed job, captured under {!Isolate}. *)
+module Run_error : sig
+  type cause =
+    | Raised of string  (** [Printexc.to_string] of the escaping exception *)
+    | Timeout of { limit_s : float; now : int }
+        (** wall-clock guard tripped ([Options.timeout_s]) *)
+    | Budget_exhausted of { budget : int; now : int }
+        (** instruction-budget guard tripped ([Options.instr_budget]) *)
+    | Unresolved of string  (** workload name did not resolve; never ran *)
+
+  type t = {
+    workload : string;  (** workload name (as submitted) *)
+    scale : Workloads.Scale.t;
+    cause : cause;
+    backtrace : string;  (** raw backtrace at the raise point; may be empty *)
+  }
+
+  (** One-line ["name@scale: cause"] rendering for logs and CLI output. *)
+  val to_string : t -> string
+end
+
 type job
 
 (** [job ?options ?event_sink ?with_sigil ?with_callgrind ?stripped w
@@ -59,22 +88,28 @@ val job :
   Workloads.Scale.t ->
   job
 
-(** [run_many ?pool jobs] executes the batch ([pool = None] runs in the
-    calling domain) and returns results in submission order. *)
-val run_many : ?pool:Pool.t -> job list -> run list
+(** [run_many ?pool ?fault_policy jobs] executes the batch ([pool = None]
+    runs in the calling domain) and returns results in submission order.
+    Under the default [Fail_fast] every element is [Ok] (a failing job
+    raises out of the call); under [Isolate] failed jobs come back as
+    [Error] and the rest of the batch completes. *)
+val run_many :
+  ?pool:Pool.t -> ?fault_policy:fault_policy -> job list -> (run, Run_error.t) result list
 
-(** [run_suite ?pool ... specs] is {!run_many} over named workloads: each
-    [(name, scale)] resolves first ([Error _] for unknown names, which are
-    never run), all resolvable jobs execute as one batch, and results come
-    back aligned with [specs]. *)
+(** [run_suite ?pool ?fault_policy ... specs] is {!run_many} over named
+    workloads: each [(name, scale)] resolves first (unknown names become
+    [Error] with cause {!Run_error.Unresolved} and are never run), all
+    resolvable jobs execute as one batch, and results come back aligned
+    with [specs]. *)
 val run_suite :
   ?pool:Pool.t ->
+  ?fault_policy:fault_policy ->
   ?options:Sigil.Options.t ->
   ?with_sigil:bool ->
   ?with_callgrind:bool ->
   ?stripped:bool ->
   (string * Workloads.Scale.t) list ->
-  (run, string) result list
+  (run, Run_error.t) result list
 
 (** [time_native w scale] is the uninstrumented baseline run time. *)
 val time_native : Workloads.Workload.t -> Workloads.Scale.t -> float

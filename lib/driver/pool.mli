@@ -38,7 +38,15 @@ val size : t -> int
 (** [map pool f items] runs [f] on every item concurrently and returns the
     results in submission order. Re-raises the first failing item's
     exception. Safe to call from inside a pool task (the nested batch is
-    drained by the same domains). *)
+    drained by the same domains).
+
+    Failure semantics (the no-deadlock contract {!Driver.run_many} builds
+    its [Isolate] fault policy on): a raising task never aborts, skips or
+    blocks the rest of its batch — every submitted task runs exactly once,
+    [map] only returns (or re-raises) after all of them have completed,
+    and the pool remains usable for subsequent batches. The exception
+    re-raised is the first one {e by submission index}, not by wall-clock
+    order, with the raising task's original backtrace. *)
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 
 (** [run pool thunks] is [map pool (fun f -> f ()) thunks]. *)

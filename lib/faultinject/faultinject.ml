@@ -1,0 +1,92 @@
+exception Injected of string
+
+let () =
+  Printexc.register_printer (function
+    | Injected what -> Some (Printf.sprintf "Faultinject.Injected (%s)" what)
+    | _ -> None)
+
+type trigger =
+  | After_entries of int
+  | After_bytes of int
+  | On_flush of int
+
+let trigger_to_string = function
+  | After_entries n -> Printf.sprintf "after %d entries" n
+  | After_bytes n -> Printf.sprintf "after %d bytes" n
+  | On_flush n -> Printf.sprintf "on flush %d" n
+
+let validate = function
+  | After_entries n when n < 0 -> invalid_arg "Faultinject: negative entry trigger"
+  | After_bytes n when n < 0 -> invalid_arg "Faultinject: negative byte trigger"
+  | On_flush n when n <= 0 -> invalid_arg "Faultinject: flush trigger must be >= 1"
+  | After_entries _ | After_bytes _ | On_flush _ -> ()
+
+let failing_sink trigger w : Sigil.Event_log.sink =
+  validate trigger;
+  let entries = ref 0 in
+  let flushes = ref 0 in
+  let dead = ref false in
+  fun e ->
+    (* a real failed device stays failed: once tripped, every later write
+       fails too, so a driver cannot half-resurrect the sink *)
+    if !dead then raise (Injected (trigger_to_string trigger));
+    let trip () =
+      dead := true;
+      raise (Injected (trigger_to_string trigger))
+    in
+    (match trigger with
+    | After_entries n -> if !entries >= n then trip ()
+    | After_bytes n -> if Tracefile.Writer.bytes_written w >= n then trip ()
+    | On_flush _ -> ());
+    let chunks_before = Tracefile.Writer.chunks w in
+    Tracefile.Writer.add w e;
+    incr entries;
+    match trigger with
+    | On_flush n ->
+      if Tracefile.Writer.chunks w > chunks_before then begin
+        incr flushes;
+        if !flushes >= n then trip ()
+      end
+    | After_entries _ | After_bytes _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* File mutators                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc data)
+
+let file_length path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> in_channel_length ic)
+
+let truncated_copy ~src ~dst ~len =
+  let data = read_file src in
+  if len < 0 || len > String.length data then
+    invalid_arg "Faultinject.truncated_copy: length out of range";
+  write_file dst (String.sub data 0 len)
+
+let bit_flipped_copy ~src ~dst ~byte ~bit =
+  let data = Bytes.of_string (read_file src) in
+  if byte < 0 || byte >= Bytes.length data then
+    invalid_arg "Faultinject.bit_flipped_copy: byte offset out of range";
+  if bit < 0 || bit > 7 then invalid_arg "Faultinject.bit_flipped_copy: bit out of range";
+  Bytes.set data byte (Char.chr (Char.code (Bytes.get data byte) lxor (1 lsl bit)));
+  write_file dst (Bytes.to_string data)
+
+let torn_tail_copy ~src ~dst ~keep ~junk =
+  let data = read_file src in
+  if keep < 0 || keep > String.length data then
+    invalid_arg "Faultinject.torn_tail_copy: keep out of range";
+  if junk < 0 then invalid_arg "Faultinject.torn_tail_copy: negative junk";
+  (* deterministic junk: a fixed multiplicative scramble of the position,
+     so every run of the harness tears the file the same way *)
+  let garbage = String.init junk (fun i -> Char.chr ((i * 167) land 0xff lxor 0x5a)) in
+  write_file dst (String.sub data 0 keep ^ garbage)

@@ -20,3 +20,14 @@ val text_to_binary : ?chunk_bytes:int -> string -> string -> int
 
     @raise Frame.Corrupt on a damaged binary trace. *)
 val binary_to_text : string -> string -> int
+
+(** [repair ?chunk_bytes src dst] rewrites a damaged trace into a clean,
+    fully-indexed one: opens [src] with {!Reader.open_salvage}, streams the
+    recovered prefix of entries into a fresh writer (preserving the source
+    header's options fingerprint and, when the tail survived, its embedded
+    symbol/context tables), and returns the salvage report. [dst] is
+    written atomically; [src] is untouched.
+
+    @raise Frame.Corrupt when [src]'s header is damaged (nothing to
+    salvage). *)
+val repair : ?chunk_bytes:int -> string -> string -> Reader.salvage_report

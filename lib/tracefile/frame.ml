@@ -12,9 +12,11 @@ let magic = "sigiltf1"
 let trailer_magic = "sigilend"
 let version = 1
 let chunk_magic = 0x48434753 (* "SGCH" read as LE u32 *)
+let ckpt_magic = 0x504b4753 (* "SGKP" read as LE u32 *)
 let chunk_header_bytes = 16
 let trailer_bytes = 32
 let default_chunk_bytes = 64 * 1024
+let default_checkpoint_every = 16
 
 let add_u32 buf v =
   for i = 0 to 3 do

@@ -22,9 +22,19 @@ val trailer_magic : string (** 8 bytes, end of file *)
 val version : int
 val chunk_magic : int (** u32 framing each chunk header *)
 
+val ckpt_magic : int
+(** u32 framing an index-checkpoint section. Checkpoints share the data
+    chunks' 16-byte header layout ([ckpt_magic], count, payload length,
+    CRC-32) but carry the chunk index accumulated so far instead of
+    entries; readers skip them, and salvage uses the latest intact one to
+    bound how much a torn tail can lose. *)
+
 val chunk_header_bytes : int
 val trailer_bytes : int
 val default_chunk_bytes : int (** target payload size per chunk *)
+
+val default_checkpoint_every : int
+(** data chunks between two index checkpoints (writer default) *)
 
 (** {2 Little-endian fixed-width helpers} *)
 

@@ -6,6 +6,7 @@ type t = {
   r_version : int;
   r_options_tag : string;
   r_chunk_bytes : int;
+  r_stripped : bool;
   chunks : chunk array;
   total_entries : int;
   data_start : int; (* first byte after the header *)
@@ -23,7 +24,8 @@ let read_bytes_at ic ~offset ~len =
 
 (* Walk the chunk framing from [start] to diagnose a file whose trailer is
    missing or unusable: report the first chunk that is not wholly present.
-   [limit] is the end of the region chunks may occupy. *)
+   [limit] is the end of the region chunks may occupy. Index-checkpoint
+   sections share the data chunks' framing and are walked the same way. *)
 let diagnose_chunks ic ~start ~limit =
   let rec scan offset =
     if offset = limit then
@@ -32,7 +34,8 @@ let diagnose_chunks ic ~start ~limit =
       Frame.corrupt ~offset "truncated chunk header"
     else begin
       let header = read_bytes_at ic ~offset ~len:Frame.chunk_header_bytes in
-      if Frame.get_u32 header 0 <> Frame.chunk_magic then
+      let magic = Frame.get_u32 header 0 in
+      if magic <> Frame.chunk_magic && magic <> Frame.ckpt_magic then
         Frame.corrupt ~offset "bad chunk magic (trailer missing and data damaged)"
       else
         let payload = Frame.get_u32 header 8 in
@@ -65,77 +68,109 @@ let parse_header ic ~file_len =
     (version, tag, chunk_bytes, !pos)
   with Varint.Truncated -> Frame.corrupt ~offset:!pos "truncated header"
 
+type tail = {
+  t_tables_offset : int;
+  t_total_entries : int;
+  t_names : string array;
+  t_stripped : bool;
+  t_ctx_fn : int array;
+  t_ctx_parent : int array;
+  t_chunks : chunk array;
+}
+
+(* Parse everything the trailer locates (tables + chunk index). The caller
+   has already verified the trailer magic. *)
+let parse_tail ic ~file_len ~data_start =
+  let trailer =
+    read_bytes_at ic ~offset:(file_len - Frame.trailer_bytes) ~len:Frame.trailer_bytes
+  in
+  let tables_offset = Frame.get_u64 trailer 0 in
+  let index_offset = Frame.get_u64 trailer 8 in
+  let total_entries = Frame.get_u64 trailer 16 in
+  if
+    tables_offset < data_start || index_offset < tables_offset
+    || index_offset > file_len - Frame.trailer_bytes
+  then Frame.corrupt ~offset:(file_len - Frame.trailer_bytes) "trailer offsets out of range";
+  (* tables + index are small; parse them from one contiguous read *)
+  let meta_len = file_len - Frame.trailer_bytes - tables_offset in
+  let meta = read_bytes_at ic ~offset:tables_offset ~len:meta_len in
+  let pos = ref 0 in
+  try
+    let symbol_count = Varint.read meta ~pos in
+    let stripped = Bytes.get meta !pos = '\001' in
+    incr pos;
+    let names =
+      Array.init symbol_count (fun _ ->
+          let len = Varint.read meta ~pos in
+          if len < 0 || len > meta_len - !pos then
+            Frame.corrupt ~offset:tables_offset "symbol name overruns table";
+          let name = Bytes.sub_string meta !pos len in
+          pos := !pos + len;
+          name)
+    in
+    let context_count = Varint.read meta ~pos in
+    let ctx_fn = Array.make context_count (-1) in
+    let ctx_parent = Array.make context_count (-1) in
+    for ctx = 1 to context_count - 1 do
+      ctx_parent.(ctx) <- Varint.read meta ~pos;
+      ctx_fn.(ctx) <- Varint.read meta ~pos
+    done;
+    pos := index_offset - tables_offset;
+    let chunk_count = Varint.read meta ~pos in
+    let chunks =
+      Array.init chunk_count (fun _ ->
+          let c_offset = Varint.read meta ~pos in
+          let c_entries = Varint.read meta ~pos in
+          let c_bytes = Varint.read meta ~pos in
+          if c_offset < data_start || c_offset + Frame.chunk_header_bytes + c_bytes > tables_offset
+          then Frame.corrupt ~offset:c_offset "chunk index entry out of range";
+          { c_offset; c_entries; c_bytes })
+    in
+    {
+      t_tables_offset = tables_offset;
+      t_total_entries = total_entries;
+      t_names = names;
+      t_stripped = stripped;
+      t_ctx_fn = ctx_fn;
+      t_ctx_parent = ctx_parent;
+      t_chunks = chunks;
+    }
+  with Varint.Truncated ->
+    Frame.corrupt ~offset:tables_offset "truncated symbol/context tables or chunk index"
+
+let has_trailer ic ~file_len ~data_start =
+  file_len - data_start >= Frame.trailer_bytes
+  &&
+  let trailer =
+    read_bytes_at ic ~offset:(file_len - Frame.trailer_bytes) ~len:Frame.trailer_bytes
+  in
+  Bytes.sub_string trailer 24 8 = Frame.trailer_magic
+
 let open_file path =
   let ic = open_in_bin path in
   match
     let file_len = in_channel_length ic in
     let version, tag, chunk_bytes, data_start = parse_header ic ~file_len in
-    if file_len - data_start < Frame.trailer_bytes then
-      diagnose_chunks ic ~start:data_start ~limit:(max data_start file_len);
-    let trailer = read_bytes_at ic ~offset:(file_len - Frame.trailer_bytes) ~len:Frame.trailer_bytes in
-    if Bytes.sub_string trailer 24 8 <> Frame.trailer_magic then
-      (* no trailer: truncated mid-stream; name the first incomplete chunk *)
+    if not (has_trailer ic ~file_len ~data_start) then
       (* no trailer at all: scan the raw tail so the first chunk the cut
          actually damaged is the one named *)
-      diagnose_chunks ic ~start:data_start ~limit:file_len;
-    let tables_offset = Frame.get_u64 trailer 0 in
-    let index_offset = Frame.get_u64 trailer 8 in
-    let total_entries = Frame.get_u64 trailer 16 in
-    if
-      tables_offset < data_start || index_offset < tables_offset
-      || index_offset > file_len - Frame.trailer_bytes
-    then Frame.corrupt ~offset:(file_len - Frame.trailer_bytes) "trailer offsets out of range";
-    (* tables + index are small; parse them from one contiguous read *)
-    let meta_len = file_len - Frame.trailer_bytes - tables_offset in
-    let meta = read_bytes_at ic ~offset:tables_offset ~len:meta_len in
-    let pos = ref 0 in
-    (try
-       let symbol_count = Varint.read meta ~pos in
-       let _stripped = Bytes.get meta !pos in
-       incr pos;
-       let names =
-         Array.init symbol_count (fun _ ->
-             let len = Varint.read meta ~pos in
-             if len < 0 || len > meta_len - !pos then
-               Frame.corrupt ~offset:tables_offset "symbol name overruns table";
-             let name = Bytes.sub_string meta !pos len in
-             pos := !pos + len;
-             name)
-       in
-       let context_count = Varint.read meta ~pos in
-       let ctx_fn = Array.make context_count (-1) in
-       let ctx_parent = Array.make context_count (-1) in
-       for ctx = 1 to context_count - 1 do
-         ctx_parent.(ctx) <- Varint.read meta ~pos;
-         ctx_fn.(ctx) <- Varint.read meta ~pos
-       done;
-       pos := index_offset - tables_offset;
-       let chunk_count = Varint.read meta ~pos in
-       let chunks =
-         Array.init chunk_count (fun _ ->
-             let c_offset = Varint.read meta ~pos in
-             let c_entries = Varint.read meta ~pos in
-             let c_bytes = Varint.read meta ~pos in
-             if c_offset < data_start || c_offset + Frame.chunk_header_bytes + c_bytes > tables_offset
-             then Frame.corrupt ~offset:c_offset "chunk index entry out of range";
-             { c_offset; c_entries; c_bytes })
-       in
-       {
-         path;
-         ic;
-         r_version = version;
-         r_options_tag = tag;
-         r_chunk_bytes = chunk_bytes;
-         chunks;
-         total_entries;
-         data_start;
-         data_end = tables_offset;
-         names;
-         ctx_fn;
-         ctx_parent;
-       }
-     with Varint.Truncated ->
-       Frame.corrupt ~offset:tables_offset "truncated symbol/context tables or chunk index")
+      diagnose_chunks ic ~start:data_start ~limit:(max data_start file_len);
+    let tl = parse_tail ic ~file_len ~data_start in
+    {
+      path;
+      ic;
+      r_version = version;
+      r_options_tag = tag;
+      r_chunk_bytes = chunk_bytes;
+      r_stripped = tl.t_stripped;
+      chunks = tl.t_chunks;
+      total_entries = tl.t_total_entries;
+      data_start;
+      data_end = tl.t_tables_offset;
+      names = tl.t_names;
+      ctx_fn = tl.t_ctx_fn;
+      ctx_parent = tl.t_ctx_parent;
+    }
   with
   | t -> t
   | exception e ->
@@ -164,6 +199,7 @@ let chunk_offsets t = Array.to_list (Array.map (fun c -> c.c_offset) t.chunks)
 let symbol_count t = Array.length t.names
 let context_count t = Array.length t.ctx_fn
 let has_names t = Array.length t.names > 0 && Array.length t.ctx_fn > 0
+let raw_tables t = (t.names, t.r_stripped, t.ctx_parent, t.ctx_fn)
 
 let fn_name t ctx =
   if ctx = Dbi.Context.root then "<root>"
@@ -202,6 +238,163 @@ let decode_payload (c : chunk) payload f =
      Frame.corrupt ~offset:c.c_offset "undecodable chunk payload");
   if !pos <> Bytes.length payload then
     Frame.corrupt ~offset:c.c_offset "chunk payload has trailing garbage"
+
+(* ------------------------------------------------------------------ *)
+(* Salvage                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type salvage_report = {
+  recovered_entries : int;
+  recovered_chunks : int;
+  dropped_chunks : int;
+  first_bad_offset : int option;
+  tail_valid : bool;
+}
+
+let pp_salvage_report ppf r =
+  Format.fprintf ppf
+    "recovered %d entries in %d chunks, dropped %d chunks%s (trailer/index %s)" r.recovered_entries
+    r.recovered_chunks r.dropped_chunks
+    (match r.first_bad_offset with
+    | None -> ""
+    | Some o -> Printf.sprintf ", first damage at offset %d" o)
+    (if r.tail_valid then "intact" else "lost")
+
+(* After damage at [start - 1], count later data chunks that still frame
+   and CRC clean. Salvage refuses to resume past a gap (delta state and
+   entry accounting would be guesses), so these are reported as dropped
+   rather than silently resurrected. *)
+let count_resync ic ~start ~limit =
+  let count = ref 0 in
+  let offset = ref start in
+  while !offset + Frame.chunk_header_bytes <= limit do
+    let header = read_bytes_at ic ~offset:!offset ~len:Frame.chunk_header_bytes in
+    let advanced =
+      Frame.get_u32 header 0 = Frame.chunk_magic
+      &&
+      let payload_len = Frame.get_u32 header 8 in
+      let crc = Frame.get_u32 header 12 in
+      payload_len <= limit - !offset - Frame.chunk_header_bytes
+      &&
+      let payload =
+        read_bytes_at ic ~offset:(!offset + Frame.chunk_header_bytes) ~len:payload_len
+      in
+      Crc32.bytes payload ~pos:0 ~len:payload_len = crc
+      && begin
+        incr count;
+        offset := !offset + Frame.chunk_header_bytes + payload_len;
+        true
+      end
+    in
+    if not advanced then incr offset
+  done;
+  !count
+
+let open_salvage path =
+  let ic = open_in_bin path in
+  match
+    let file_len = in_channel_length ic in
+    (* a damaged header is unsalvageable: without the chunk-size framing
+       start there is no prefix to trust — [Frame.Corrupt] escapes with
+       the offending offset, which is the structured-error half of the
+       salvage contract *)
+    let version, tag, chunk_bytes, data_start = parse_header ic ~file_len in
+    let tail =
+      if not (has_trailer ic ~file_len ~data_start) then None
+      else
+        match parse_tail ic ~file_len ~data_start with
+        | tl -> Some tl
+        | exception Frame.Corrupt _ -> None
+    in
+    let limit = match tail with Some tl -> tl.t_tables_offset | None -> file_len in
+    (* forward walk keeping every section that is wholly present, CRC-clean
+       and (for data chunks) fully decodable; stop at the first damage —
+       salvage recovers a strict prefix, never entries past a gap *)
+    let recovered = ref [] in
+    let entries = ref 0 in
+    let bad = ref None in
+    let rec walk offset =
+      if offset >= limit then ()
+      else if limit - offset < Frame.chunk_header_bytes then bad := Some offset
+      else begin
+        let header = read_bytes_at ic ~offset ~len:Frame.chunk_header_bytes in
+        let magic = Frame.get_u32 header 0 in
+        let count = Frame.get_u32 header 4 in
+        let payload_len = Frame.get_u32 header 8 in
+        let crc = Frame.get_u32 header 12 in
+        if magic <> Frame.chunk_magic && magic <> Frame.ckpt_magic then bad := Some offset
+        else if limit - offset - Frame.chunk_header_bytes < payload_len then bad := Some offset
+        else begin
+          let payload =
+            read_bytes_at ic ~offset:(offset + Frame.chunk_header_bytes) ~len:payload_len
+          in
+          if Crc32.bytes payload ~pos:0 ~len:payload_len <> crc then bad := Some offset
+          else if magic = Frame.ckpt_magic then
+            (* intact checkpoint: nothing to recover from it, walk on *)
+            walk (offset + Frame.chunk_header_bytes + payload_len)
+          else begin
+            let c = { c_offset = offset; c_entries = count; c_bytes = payload_len } in
+            match decode_payload c payload (fun _ -> ()) with
+            | () ->
+              recovered := c :: !recovered;
+              entries := !entries + count;
+              walk (offset + Frame.chunk_header_bytes + payload_len)
+            | exception Frame.Corrupt _ -> bad := Some offset
+          end
+        end
+      end
+    in
+    walk data_start;
+    let recovered = Array.of_list (List.rev !recovered) in
+    let dropped =
+      match tail with
+      | Some tl -> max 0 (Array.length tl.t_chunks - Array.length recovered)
+      | None -> (
+        match !bad with
+        | None -> 0
+        | Some b -> 1 + count_resync ic ~start:(b + 1) ~limit)
+    in
+    let report =
+      {
+        recovered_entries = !entries;
+        recovered_chunks = Array.length recovered;
+        dropped_chunks = dropped;
+        first_bad_offset = !bad;
+        tail_valid = tail <> None;
+      }
+    in
+    let data_end =
+      if Array.length recovered = 0 then data_start
+      else
+        let c = recovered.(Array.length recovered - 1) in
+        c.c_offset + Frame.chunk_header_bytes + c.c_bytes
+    in
+    let names, stripped, ctx_fn, ctx_parent =
+      match tail with
+      | Some tl -> (tl.t_names, tl.t_stripped, tl.t_ctx_fn, tl.t_ctx_parent)
+      | None -> ([||], false, [||], [||])
+    in
+    ( {
+        path;
+        ic;
+        r_version = version;
+        r_options_tag = tag;
+        r_chunk_bytes = chunk_bytes;
+        r_stripped = stripped;
+        chunks = recovered;
+        total_entries = !entries;
+        data_start;
+        data_end;
+        names;
+        ctx_fn;
+        ctx_parent;
+      },
+      report )
+  with
+  | t -> t
+  | exception e ->
+    close_in_noerr ic;
+    raise e
 
 let iter t f =
   Array.iter (fun c -> decode_payload c (read_chunk t.ic c) f) t.chunks

@@ -22,6 +22,36 @@ val is_tracefile : string -> bool
     @raise Sys_error when the file cannot be read. *)
 val open_file : string -> t
 
+(** {2 Salvage}
+
+    Recovery path for traces left behind by a crash (a [.tmp] killed
+    mid-write) or damaged afterwards (truncation, bit rot, torn tail). *)
+
+type salvage_report = {
+  recovered_entries : int;
+  recovered_chunks : int;
+  dropped_chunks : int;
+      (** chunks present (wholly or partly) in the file but not recovered:
+          everything at or past the first damage. Salvage never resumes
+          past a gap, so a clean-looking chunk after damage is still
+          dropped rather than silently stitched to the prefix. *)
+  first_bad_offset : int option;  (** file offset of the first damage; [None] = clean *)
+  tail_valid : bool;  (** trailer, tables and chunk index all parsed *)
+}
+
+val pp_salvage_report : Format.formatter -> salvage_report -> unit
+
+(** [open_salvage path] opens a possibly-damaged trace, keeping the longest
+    prefix of chunks that are wholly present, CRC-clean and decodable. The
+    returned reader behaves like one from {!open_file} restricted to that
+    prefix (embedded tables are available only when the tail survived);
+    the report says what was kept and what was lost. A trace whose
+    {e header} is damaged has no trustworthy prefix at all:
+
+    @raise Frame.Corrupt (with the offending offset) on header damage.
+    @raise Sys_error when the file cannot be read. *)
+val open_salvage : string -> t * salvage_report
+
 val close : t -> unit
 
 (** {2 Metadata (header, trailer, embedded tables)} *)
@@ -42,6 +72,12 @@ val context_count : t -> int
 
 (** Whether the trace embeds non-empty symbol and context tables. *)
 val has_names : t -> bool
+
+(** [raw_tables t] is [(names, stripped, ctx_parent, ctx_fn)] — the
+    embedded tables as the dense arrays the format stores (empty when the
+    trace carries none). Used by [Convert.repair] to re-emit the tables
+    into the rewritten trace. *)
+val raw_tables : t -> string array * bool * int array * int array
 
 (** [fn_name t ctx] resolves a context id to its function name through the
     embedded tables; ["<root>"] for the root context, ["ctx:<id>"] when the

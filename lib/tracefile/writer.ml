@@ -1,23 +1,37 @@
 type t = {
   oc : out_channel;
+  final_path : string;
+  tmp_path : string;
   chunk_bytes : int;
+  checkpoint_every : int;
   buf : Buffer.t; (* current chunk payload *)
   head : Buffer.t; (* scratch for headers / trailer sections *)
   delta : Frame.delta;
   mutable chunk_entries : int;
   mutable total_entries : int;
   mutable index_rev : (int * int * int) list; (* offset, entries, payload bytes *)
+  mutable chunks_since_ckpt : int;
   mutable peak_buffer : int;
   mutable closed : bool;
 }
 
-let create ?(chunk_bytes = Frame.default_chunk_bytes) ?(options = Sigil.Options.default) path =
+let create ?(chunk_bytes = Frame.default_chunk_bytes)
+    ?(checkpoint_every = Frame.default_checkpoint_every) ?options ?options_tag path =
   if chunk_bytes <= 0 then invalid_arg "Tracefile.Writer.create: chunk_bytes must be positive";
-  let oc = open_out_bin path in
+  if checkpoint_every <= 0 then
+    invalid_arg "Tracefile.Writer.create: checkpoint_every must be positive";
+  (* all output goes to [path].tmp; the real name appears only on [close],
+     so a crash mid-write never clobbers an existing good trace *)
+  let tmp_path = path ^ ".tmp" in
+  let oc = open_out_bin tmp_path in
   let head = Buffer.create 256 in
   Buffer.add_string head Frame.magic;
   Buffer.add_char head (Char.chr Frame.version);
-  let tag = Sigil.Options.fingerprint options in
+  let tag =
+    match options_tag with
+    | Some tag -> tag
+    | None -> Sigil.Options.fingerprint (Option.value options ~default:Sigil.Options.default)
+  in
   Varint.write head (String.length tag);
   Buffer.add_string head tag;
   Varint.write head chunk_bytes;
@@ -25,16 +39,47 @@ let create ?(chunk_bytes = Frame.default_chunk_bytes) ?(options = Sigil.Options.
   Buffer.clear head;
   {
     oc;
+    final_path = path;
+    tmp_path;
     chunk_bytes;
+    checkpoint_every;
     buf = Buffer.create (chunk_bytes + 64);
     head;
     delta = Frame.delta ();
     chunk_entries = 0;
     total_entries = 0;
     index_rev = [];
+    chunks_since_ckpt = 0;
     peak_buffer = 0;
     closed = false;
   }
+
+(* An index checkpoint carries everything a salvage needs to account for
+   the chunks before it: the total entry count so far and the index
+   triples. Readers skip these sections; [Reader.open_salvage] uses the
+   last intact one to tell dropped chunks from never-written ones. *)
+let write_checkpoint t =
+  let b = Buffer.create 256 in
+  Varint.write b t.total_entries;
+  let index = List.rev t.index_rev in
+  List.iter
+    (fun (offset, entries, bytes) ->
+      Varint.write b offset;
+      Varint.write b entries;
+      Varint.write b bytes)
+    index;
+  let payload = Buffer.to_bytes b in
+  let payload_len = Bytes.length payload in
+  Buffer.clear t.head;
+  Frame.add_u32 t.head Frame.ckpt_magic;
+  Frame.add_u32 t.head (List.length index);
+  Frame.add_u32 t.head payload_len;
+  Frame.add_u32 t.head (Crc32.bytes payload ~pos:0 ~len:payload_len);
+  Buffer.output_buffer t.oc t.head;
+  output_bytes t.oc payload;
+  Buffer.clear t.head;
+  (* bound what a SIGKILL can lose to one checkpoint interval *)
+  flush t.oc
 
 let flush_chunk t =
   if t.chunk_entries > 0 then begin
@@ -52,7 +97,12 @@ let flush_chunk t =
     t.index_rev <- (offset, t.chunk_entries, payload_len) :: t.index_rev;
     t.chunk_entries <- 0;
     (* each chunk decodes independently *)
-    Frame.reset t.delta
+    Frame.reset t.delta;
+    t.chunks_since_ckpt <- t.chunks_since_ckpt + 1;
+    if t.chunks_since_ckpt >= t.checkpoint_every then begin
+      t.chunks_since_ckpt <- 0;
+      write_checkpoint t
+    end
   end
 
 let add t e =
@@ -68,37 +118,52 @@ let sink t = add t
 let entries t = t.total_entries
 let chunks t = List.length t.index_rev
 let peak_buffer_bytes t = t.peak_buffer
+let bytes_written t = if t.closed then 0 else pos_out t.oc + Buffer.length t.buf
 
-let write_tables t ~symbols ~contexts =
+let write_tables_raw t ~names ~stripped ~ctx_parent ~ctx_fn =
   let b = t.head in
   Buffer.clear b;
-  (match symbols with
-  | None ->
-    Varint.write b 0;
-    Buffer.add_char b '\000'
-  | Some syms ->
-    Varint.write b (Dbi.Symbol.count syms);
-    Buffer.add_char b (if Dbi.Symbol.is_stripped syms then '\001' else '\000');
-    (* Symbol.iter yields the degraded "???:<id>" names on a stripped
-       table, matching what the producing run itself could see *)
-    Dbi.Symbol.iter syms (fun _ name ->
-        Varint.write b (String.length name);
-        Buffer.add_string b name));
-  (match contexts with
-  | None -> Varint.write b 0
-  | Some ctxs ->
-    let count = Dbi.Context.count ctxs in
-    Varint.write b count;
-    (* dense ids; root (0) is implicit, every other node is (parent, fn) *)
-    for ctx = 1 to count - 1 do
-      let parent =
-        match Dbi.Context.parent ctxs ctx with Some p -> p | None -> 0
-      in
-      Varint.write b parent;
-      Varint.write b (Dbi.Context.fn ctxs ctx)
-    done);
+  Varint.write b (Array.length names);
+  Buffer.add_char b (if stripped then '\001' else '\000');
+  Array.iter
+    (fun name ->
+      Varint.write b (String.length name);
+      Buffer.add_string b name)
+    names;
+  let count = Array.length ctx_parent in
+  Varint.write b count;
+  (* dense ids; root (0) is implicit, every other node is (parent, fn) *)
+  for ctx = 1 to count - 1 do
+    Varint.write b ctx_parent.(ctx);
+    Varint.write b ctx_fn.(ctx)
+  done;
   Buffer.output_buffer t.oc b;
   Buffer.clear b
+
+let tables_of ~symbols ~contexts =
+  let names, stripped =
+    match symbols with
+    | None -> ([||], false)
+    | Some syms ->
+      let arr = Array.make (Dbi.Symbol.count syms) "" in
+      (* Symbol.iter yields the degraded "???:<id>" names on a stripped
+         table, matching what the producing run itself could see *)
+      Dbi.Symbol.iter syms (fun id name -> arr.(id) <- name);
+      (arr, Dbi.Symbol.is_stripped syms)
+  in
+  let ctx_parent, ctx_fn =
+    match contexts with
+    | None -> ([||], [||])
+    | Some ctxs ->
+      let count = Dbi.Context.count ctxs in
+      let parent = Array.make count 0 and fn = Array.make count 0 in
+      for ctx = 1 to count - 1 do
+        parent.(ctx) <- (match Dbi.Context.parent ctxs ctx with Some p -> p | None -> 0);
+        fn.(ctx) <- Dbi.Context.fn ctxs ctx
+      done;
+      (parent, fn)
+  in
+  (names, stripped, ctx_parent, ctx_fn)
 
 let write_index t index =
   let b = t.head in
@@ -113,11 +178,11 @@ let write_index t index =
   Buffer.output_buffer t.oc b;
   Buffer.clear b
 
-let close ?symbols ?contexts t =
+let finalize t ~names ~stripped ~ctx_parent ~ctx_fn =
   if not t.closed then begin
     flush_chunk t;
     let tables_offset = pos_out t.oc in
-    write_tables t ~symbols ~contexts;
+    write_tables_raw t ~names ~stripped ~ctx_parent ~ctx_fn;
     let index_offset = pos_out t.oc in
     write_index t (List.rev t.index_rev);
     let b = t.head in
@@ -128,11 +193,31 @@ let close ?symbols ?contexts t =
     Buffer.add_string b Frame.trailer_magic;
     Buffer.output_buffer t.oc b;
     close_out t.oc;
-    t.closed <- true
+    t.closed <- true;
+    (* atomic publication: the destination either keeps its old content or
+       gets the complete new trace, nothing in between *)
+    Sys.rename t.tmp_path t.final_path
+  end
+
+let close ?symbols ?contexts t =
+  let names, stripped, ctx_parent, ctx_fn = tables_of ~symbols ~contexts in
+  finalize t ~names ~stripped ~ctx_parent ~ctx_fn
+
+let close_raw ?(names = [||]) ?(stripped = false) ?(ctx_parent = [||]) ?(ctx_fn = [||]) t =
+  finalize t ~names ~stripped ~ctx_parent ~ctx_fn
+
+let discard t =
+  if not t.closed then begin
+    t.closed <- true;
+    close_out_noerr t.oc;
+    try Sys.remove t.tmp_path with Sys_error _ -> ()
   end
 
 let write_log ?chunk_bytes ?options ?symbols ?contexts log path =
   let w = create ?chunk_bytes ?options path in
-  Fun.protect
-    ~finally:(fun () -> close ?symbols ?contexts w)
-    (fun () -> Sigil.Event_log.iter log (add w))
+  match Sigil.Event_log.iter log (add w) with
+  | () -> close ?symbols ?contexts w
+  | exception e ->
+    (* don't publish (or leave behind) a half-written file *)
+    discard w;
+    raise e

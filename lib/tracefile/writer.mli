@@ -6,15 +6,30 @@
     held on behalf of the trace never exceeds one chunk (plus one entry)
     no matter how long the run is. [close] appends the symbol and context
     tables of the producing run (making the file self-describing for
-    name resolution), the chunk index, and the trailer. *)
+    name resolution), the chunk index, and the trailer.
+
+    Crash safety: all output goes to [path ^ ".tmp"] and is renamed to
+    [path] only by a successful [close], so the destination is always
+    either absent, the previous complete trace, or the new complete trace.
+    Every [checkpoint_every] data chunks the writer emits an
+    index-checkpoint section ({!Frame.ckpt_magic}) and flushes the OS
+    buffer, bounding what a SIGKILL can lose and giving
+    [Reader.open_salvage] an authoritative index for the prefix before the
+    damage. *)
 
 type t
 
-(** [create ?chunk_bytes ?options path] opens [path] and writes the header.
-    [options] is fingerprinted into the header ([Sigil.Options.default]
-    when omitted); [chunk_bytes] is the chunk payload target
-    ({!Frame.default_chunk_bytes}). *)
-val create : ?chunk_bytes:int -> ?options:Sigil.Options.t -> string -> t
+(** [create ?chunk_bytes ?checkpoint_every ?options ?options_tag path]
+    opens [path ^ ".tmp"] and writes the header. [options] is
+    fingerprinted into the header ([Sigil.Options.default] when omitted);
+    [options_tag] overrides the fingerprint string verbatim (used by
+    [Convert.repair] to preserve the source trace's tag); [chunk_bytes] is
+    the chunk payload target ({!Frame.default_chunk_bytes});
+    [checkpoint_every] is the index-checkpoint cadence in data chunks
+    ({!Frame.default_checkpoint_every}). *)
+val create :
+  ?chunk_bytes:int -> ?checkpoint_every:int -> ?options:Sigil.Options.t -> ?options_tag:string ->
+  string -> t
 
 val add : t -> Sigil.Event_log.entry -> unit
 
@@ -32,14 +47,34 @@ val chunks : t -> int
     [chunk_bytes] plus one encoded entry. *)
 val peak_buffer_bytes : t -> int
 
+(** Bytes produced so far: what is on disk (in the .tmp) plus the buffered
+    partial chunk. 0 once closed. Used by fault injection to trip a sink
+    after a byte budget. *)
+val bytes_written : t -> int
+
 (** [close ?symbols ?contexts w] flushes the final chunk, writes the
     embedded tables (empty when omitted, e.g. for converted text traces
-    whose producing run is gone), the chunk index and the trailer, and
-    closes the file. Idempotent. *)
+    whose producing run is gone), the chunk index and the trailer, closes
+    the .tmp and renames it over the destination. Idempotent. *)
 val close : ?symbols:Dbi.Symbol.t -> ?contexts:Dbi.Context.t -> t -> unit
 
+(** [close_raw ?names ?stripped ?ctx_parent ?ctx_fn w] is {!close} for
+    callers holding the tables as raw arrays rather than live [Dbi]
+    structures — e.g. [Convert.repair] re-emitting the tables recovered
+    from a damaged trace. Arrays are indexed by dense id (context 0 is the
+    implicit root). *)
+val close_raw :
+  ?names:string array -> ?stripped:bool -> ?ctx_parent:int array -> ?ctx_fn:int array -> t -> unit
+
+(** [discard w] abandons the trace: closes and deletes the .tmp without
+    ever touching the destination path. Idempotent; a no-op after a
+    successful [close]. Use on the failure path so a crashed run leaves no
+    partial artifact behind. *)
+val discard : t -> unit
+
 (** [write_log ?chunk_bytes ?options ?symbols ?contexts log path] dumps an
-    in-memory log in one call. *)
+    in-memory log in one call; on error the partial .tmp is removed and
+    the exception re-raised. *)
 val write_log :
   ?chunk_bytes:int ->
   ?options:Sigil.Options.t ->

@@ -52,6 +52,61 @@ let test_nested_map () =
         [ [ 10; 11; 12 ]; [ 20; 21; 22 ]; [ 30; 31; 32 ] ]
         table)
 
+(* The no-deadlock contract Driver's Isolate fault policy builds on: a
+   raising task never prevents the rest of its batch from running. *)
+let test_failed_batch_runs_every_task () =
+  let n = 64 in
+  let ran = Array.make n false in
+  Pool.with_pool ~domains:3 (fun p ->
+      (try
+         ignore
+           (Pool.map p
+              (fun i ->
+                ran.(i) <- true;
+                if i mod 5 = 0 then failwith (Printf.sprintf "boom %d" i))
+              (List.init n (fun i -> i)))
+       with Failure _ -> ());
+      Alcotest.(check bool) "every task ran despite the failures" true
+        (Array.for_all Fun.id ran))
+
+let test_failed_nested_map_no_deadlock () =
+  (* a raising task inside a nested batch must neither hang the outer map
+     nor stop sibling rows: the outer map re-raises, and the pool stays
+     usable *)
+  Pool.with_pool ~domains:2 (fun p ->
+      let rows_done = Array.make 4 false in
+      Alcotest.check_raises "inner failure propagates out of the outer map"
+        (Failure "inner boom") (fun () ->
+          ignore
+            (Pool.map p
+               (fun row ->
+                 let r =
+                   Pool.map p
+                     (fun col ->
+                       if row = 1 && col = 1 then failwith "inner boom";
+                       (row * 10) + col)
+                     [ 0; 1; 2 ]
+                 in
+                 rows_done.(row) <- true;
+                 r)
+               [ 0; 1; 2; 3 ]));
+      Alcotest.(check bool) "sibling rows still completed" true
+        (rows_done.(0) && rows_done.(2) && rows_done.(3));
+      Alcotest.(check (list int)) "pool usable after nested failure" [ 2; 4 ]
+        (Pool.map p (fun i -> 2 * i) [ 1; 2 ]))
+
+let test_with_pool_reraises_after_shutdown () =
+  (* with_pool must re-raise the body's exception only after joining its
+     workers; observable as: the exception escapes and no pool state leaks
+     (a fresh pool still works) *)
+  Alcotest.check_raises "body exception re-raised" (Failure "body") (fun () ->
+      Pool.with_pool ~domains:3 (fun p ->
+          ignore (Pool.map p (fun i -> i) [ 1; 2; 3 ]);
+          failwith "body"));
+  Pool.with_pool ~domains:3 (fun p ->
+      Alcotest.(check (list int)) "fresh pool after aborted with_pool" [ 1; 2; 3 ]
+        (Pool.map p Fun.id [ 1; 2; 3 ]))
+
 let test_shutdown () =
   let p = Pool.create ~domains:2 () in
   Pool.shutdown p;
@@ -71,7 +126,13 @@ let () =
           Alcotest.test_case "empty map and run" `Quick test_map_empty_and_run;
           Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
           Alcotest.test_case "survives failed batch" `Quick test_pool_survives_failed_batch;
+          Alcotest.test_case "failed batch runs every task" `Quick
+            test_failed_batch_runs_every_task;
           Alcotest.test_case "nested map" `Quick test_nested_map;
+          Alcotest.test_case "failed nested map no deadlock" `Quick
+            test_failed_nested_map_no_deadlock;
+          Alcotest.test_case "with_pool re-raises after shutdown" `Quick
+            test_with_pool_reraises_after_shutdown;
           Alcotest.test_case "shutdown" `Quick test_shutdown;
         ] );
     ]

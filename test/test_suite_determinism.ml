@@ -16,7 +16,7 @@ let profile_texts runs =
     (fun r ->
       match r with
       | Ok run -> Sigil.Profile_io.to_string (Driver.sigil run)
-      | Error e -> Alcotest.failf "workload failed to resolve: %s" e)
+      | Error e -> Alcotest.failf "workload failed: %s" (Driver.Run_error.to_string e))
     runs
 
 let test_parallel_bit_identical () =
