@@ -95,6 +95,46 @@ let instr_budget_arg =
   in
   Arg.(value & opt (some int) None & info [ "instr-budget" ] ~docv:"N" ~doc)
 
+let stats_arg =
+  let doc =
+    "Print the run's telemetry after the report: deterministic counters (shadow chunk \
+     allocations/evictions, coalesced range runs, events dispatched) separated from \
+     wall-clock timings. Collection itself is near-free; the probes are always on."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let stats_out_arg =
+  let doc =
+    "Write the telemetry of every run plus the merged aggregate to $(docv) as a \
+     sigil-stats/1 JSON document (see docs/FORMATS.md). The deterministic sections are \
+     bit-identical across -j levels."
+  in
+  Arg.(value & opt (some string) None & info [ "stats-out" ] ~docv:"FILE" ~doc)
+
+let stats_det_arg =
+  let doc =
+    "Restrict --stats/--stats-out to the deterministic domain, omitting every wall-clock \
+     section — two --stats-out files from the same suite at different -j levels then compare \
+     byte-identical."
+  in
+  Arg.(value & flag & info [ "stats-deterministic" ] ~doc)
+
+let progress_arg =
+  let doc =
+    "Report run progress on stderr (workload, scale, instructions retired, evictions, ETA): a \
+     live status line on a terminal, plain start/finish lines otherwise."
+  in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
+(* [with_progress enabled n f] runs [f reporter] with a heartbeat sized for
+   [n] jobs when enabled, closing it on the way out. *)
+let with_progress enabled total f =
+  if not enabled then f None
+  else begin
+    let p = Driver.Progress.create ~total () in
+    Fun.protect ~finally:(fun () -> Driver.Progress.close p) (fun () -> f (Some p))
+  end
+
 let with_guards options ~timeout ~budget =
   let options =
     match budget with None -> options | Some n -> Sigil.Options.with_instr_budget options n

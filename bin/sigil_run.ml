@@ -17,8 +17,13 @@ let report name scale r =
     (float_of_int (Sigil.Tool.shadow_footprint_peak_bytes tool) /. 1e6)
     (Sigil.Tool.shadow_evictions tool)
 
+let pp_stats ~det snapshot =
+  let s = if det then Telemetry.deterministic snapshot else snapshot in
+  Telemetry.pp Format.std_formatter s
+
 let run names scale limit max_chunks stripped domains fault_policy timeout budget events_path
-    chunk_bytes checkpoint_every edges flat tree save_profile dot_path trace_path =
+    chunk_bytes checkpoint_every stats stats_out stats_det progress edges flat tree
+    save_profile dot_path trace_path =
   let workloads = List.map Cli_common.resolve names in
   (if List.length names > 1 then
      let single_only =
@@ -44,6 +49,8 @@ let run names scale limit max_chunks stripped domains fault_policy timeout budge
   let options = Cli_common.with_max_chunks Sigil.Options.default max_chunks in
   let options = if events_path <> None then Sigil.Options.with_events options else options in
   let options = Cli_common.with_guards options ~timeout ~budget in
+  let want_stats = stats || stats_out <> None in
+  let options = if want_stats then Sigil.Options.with_stats options else options in
   (* events stream straight into the binary chunk writer during the run:
      the tool buffers at most one chunk, never the whole trace *)
   let event_writer =
@@ -52,10 +59,14 @@ let run names scale limit max_chunks stripped domains fault_policy timeout budge
       events_path
   in
   let event_sink = Option.map Tracefile.Writer.sink event_writer in
-  let results =
+  (* the pool handle survives [with_domains] only for its accounting
+     atomics, which [Driver.Stats] folds into the wall-clock aggregate *)
+  let results, pool_used =
     Cli_common.with_domains domains (fun pool ->
-        Driver.run_many ?pool ~fault_policy
-          (List.map (fun w -> Driver.job ~options ?event_sink ~stripped w scale) workloads))
+        Cli_common.with_progress progress (List.length workloads) (fun prog ->
+            ( Driver.run_many ?pool ?progress:prog ~fault_policy
+                (List.map (fun w -> Driver.job ~options ?event_sink ~stripped w scale) workloads),
+              pool )))
   in
   let failures = ref 0 in
   List.iter2
@@ -106,6 +117,41 @@ let run names scale limit max_chunks stripped domains fault_policy timeout budge
     (* the run feeding the trace writer failed (or there were several
        runs): never publish a partial trace under the requested name *)
     Option.iter Tracefile.Writer.discard event_writer);
+  if want_stats then begin
+    (* a single-run --events invocation also reports the trace writer's
+       samples (the writer is closed by now; its counters remain valid) *)
+    let named_results =
+      match (results, event_writer) with
+      | [ Ok r ], Some w ->
+        let with_trace =
+          Option.map
+            (fun s -> Telemetry.merge s (Telemetry.of_samples (Tracefile.Writer.telemetry w)))
+            r.Driver.stats
+        in
+        [ (List.hd names, Ok { r with Driver.stats = with_trace }) ]
+      | _ -> List.combine names results
+    in
+    if stats then begin
+      List.iter
+        (fun (name, result) ->
+          match result with
+          | Ok r ->
+            Format.printf "@.-- stats: %s --@." name;
+            pp_stats ~det:stats_det (Driver.Stats.of_run r)
+          | Error _ -> ())
+        named_results;
+      if List.length named_results > 1 then begin
+        Format.printf "@.-- stats: aggregate --@.";
+        pp_stats ~det:stats_det
+          (Driver.Stats.aggregate ?pool:pool_used (List.map snd named_results))
+      end
+    end;
+    match stats_out with
+    | Some path ->
+      Driver.Stats.write_json ~wall:(not stats_det) ?pool:pool_used ~scale named_results path;
+      Format.printf "@.stats written to %s@." path
+    | None -> ()
+  end;
   if !failures > 0 then exit Cli_common.exit_partial
 
 let cmd =
@@ -176,7 +222,8 @@ let cmd =
       const run $ Cli_common.workloads_arg $ Cli_common.scale_arg $ Cli_common.limit_arg
       $ Cli_common.max_chunks_arg $ Cli_common.stripped_arg $ Cli_common.domains_arg
       $ Cli_common.fault_policy_arg $ Cli_common.timeout_arg $ Cli_common.instr_budget_arg
-      $ events $ chunk_bytes $ checkpoint_every $ edges $ flat $ tree $ save_profile $ dot
-      $ trace)
+      $ events $ chunk_bytes $ checkpoint_every $ Cli_common.stats_arg $ Cli_common.stats_out_arg
+      $ Cli_common.stats_det_arg $ Cli_common.progress_arg $ edges $ flat $ tree $ save_profile
+      $ dot $ trace)
 
 let () = exit (Cmd.eval cmd)

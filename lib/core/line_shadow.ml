@@ -23,6 +23,7 @@ type t = {
   line_bits : int;
   size : int;
   table : (int, cell) Hashtbl.t;
+  mutable touches : int; (* telemetry: touch calls, not lines covered *)
 }
 
 let log2 n =
@@ -32,10 +33,11 @@ let log2 n =
 let create ?(line_size = 64) () =
   if line_size <= 0 || line_size land (line_size - 1) <> 0 then
     invalid_arg "Line_shadow.create: line size must be a positive power of two";
-  { line_bits = log2 line_size; size = line_size; table = Hashtbl.create 4096 }
+  { line_bits = log2 line_size; size = line_size; table = Hashtbl.create 4096; touches = 0 }
 
 let touch t ~now addr size =
   if size <= 0 then invalid_arg "Line_shadow.touch: size must be positive";
+  t.touches <- t.touches + 1;
   let first_line = addr lsr t.line_bits in
   let last_line = (addr + size - 1) lsr t.line_bits in
   for line = first_line to last_line do
@@ -71,6 +73,16 @@ let bins t =
       else { b with over_10000 = b.over_10000 + 1 })
     t.table
     { under_10 = 0; under_100 = 0; under_1000 = 0; under_10000 = 0; over_10000 = 0 }
+
+let telemetry t =
+  let line_accesses = Hashtbl.fold (fun _ c acc -> acc + c.accesses) t.table 0 in
+  Telemetry.
+    [
+      count "line.touches" t.touches;
+      count "line.accesses" line_accesses;
+      gauge "line.lines" (Hashtbl.length t.table);
+      gauge "line.size" t.size;
+    ]
 
 let bin_fractions t =
   let b = bins t in

@@ -46,3 +46,7 @@ val bins : t -> bins
 
 (** Fractions of [bins] that sum to 1 (0 lines yields all zeros). *)
 val bin_fractions : t -> float * float * float * float * float
+
+(** Deterministic [line.*] telemetry samples: touch calls, total per-line
+    access count, distinct lines, and the configured line size. *)
+val telemetry : t -> Telemetry.sample list

@@ -6,6 +6,7 @@ type t = {
   per_byte_shadow : bool;
   instr_budget : int option;
   timeout_s : float option;
+  collect_stats : bool;
 }
 
 let default =
@@ -17,9 +18,11 @@ let default =
     per_byte_shadow = false;
     instr_budget = None;
     timeout_s = None;
+    collect_stats = false;
   }
 
 let with_reuse t = { t with reuse_mode = true }
+let with_stats t = { t with collect_stats = true }
 let with_events t = { t with collect_events = true }
 let with_per_byte_shadow t = { t with per_byte_shadow = true }
 

@@ -26,6 +26,11 @@ type t = {
       (** fault-isolation guard: abort the run (raising
           [Dbi.Machine.Timeout]) once it has held the host CPU for this
           many wall-clock seconds; [None] = no timeout *)
+  collect_stats : bool;
+      (** assemble a {!Telemetry.snapshot} for the run (the probes
+          themselves are always on; this only controls whether the driver
+          gathers them at run end). Never affects profile or trace content,
+          so it is deliberately absent from {!fingerprint}. *)
 }
 
 (** Baseline profiling: no reuse stats, no events, byte granularity,
@@ -33,6 +38,7 @@ type t = {
 val default : t
 
 val with_reuse : t -> t
+val with_stats : t -> t
 val with_events : t -> t
 val with_per_byte_shadow : t -> t
 val with_line_size : t -> int -> t

@@ -90,6 +90,14 @@ type t = {
   mutable pages : int; (* superpages are never freed: monotone *)
   mutable evictions : int;
   mutable last_chunk : chunk option; (* single-entry lookup cache *)
+  (* telemetry probes: plain int bumps, once per call (not per byte) *)
+  mutable allocs : int;
+  mutable range_reads : int;
+  mutable range_read_bytes : int;
+  mutable range_runs : int;
+  mutable range_writes : int;
+  mutable range_write_bytes : int;
+  read_size : Telemetry.Hist.t;
 }
 
 let create ?(reuse = false) ?(track_writer_call = false) ?max_chunks ?(sink = null_sink) () =
@@ -105,6 +113,13 @@ let create ?(reuse = false) ?(track_writer_call = false) ?max_chunks ?(sink = nu
     pages = 0;
     evictions = 0;
     last_chunk = None;
+    allocs = 0;
+    range_reads = 0;
+    range_read_bytes = 0;
+    range_runs = 0;
+    range_writes = 0;
+    range_write_bytes = 0;
+    read_size = Telemetry.Hist.create ();
   }
 
 (* Host bytes per chunk: 2 B writer + 2 B reader + 4 B reader call, plus
@@ -224,6 +239,7 @@ let new_chunk t index =
     }
   in
   if t.live >= t.max_chunks then evict_one t;
+  t.allocs <- t.allocs + 1;
   let page = page_for t index in
   page.(index land (page_slots - 1)) <- Some c;
   Queue.add index t.fifo;
@@ -436,8 +452,15 @@ let read_range_general t ~ctx ~call ~now addr len =
 let read_range t ~ctx ~call ~now addr len =
   check_packed ctx call now;
   check_range addr len;
-  if t.reuse_mode || t.track_writer_call then read_range_general t ~ctx ~call ~now addr len
-  else read_range_fast t ~ctx ~call addr len
+  t.range_reads <- t.range_reads + 1;
+  t.range_read_bytes <- t.range_read_bytes + len;
+  Telemetry.Hist.observe t.read_size len;
+  let runs =
+    if t.reuse_mode || t.track_writer_call then read_range_general t ~ctx ~call ~now addr len
+    else read_range_fast t ~ctx ~call addr len
+  in
+  t.range_runs <- t.range_runs + List.length runs;
+  runs
 
 (* In non-reuse mode the sink calls of [flush_byte] are no-ops, so an
    overwrite only needs to clear the reader episode — no full flush. *)
@@ -482,6 +505,8 @@ let write_span_fast (c : chunk) i0 span ~ctx =
 let write_range t ~ctx ~call ~now:_ addr len =
   check_packed ctx call 0;
   check_range addr len;
+  t.range_writes <- t.range_writes + 1;
+  t.range_write_bytes <- t.range_write_bytes + len;
   let fast = (not t.reuse_mode) && not t.track_writer_call in
   let pos = ref addr in
   let remaining = ref len in
@@ -509,6 +534,23 @@ let flush t =
           page
       | None -> ())
     t.dir
+
+let telemetry t =
+  Telemetry.
+    [
+      count "shadow.chunks_allocated" t.allocs;
+      gauge "shadow.chunks_live" t.live;
+      peak "shadow.chunks_peak" t.peak;
+      gauge "shadow.pages" t.pages;
+      count "shadow.evictions" t.evictions;
+      count "shadow.range_reads" t.range_reads;
+      count "shadow.range_read_bytes" t.range_read_bytes;
+      count "shadow.range_runs" t.range_runs;
+      count "shadow.range_writes" t.range_writes;
+      count "shadow.range_write_bytes" t.range_write_bytes;
+      hist "shadow.read_size" t.read_size;
+      peak "shadow.footprint_peak_bytes" (footprint_peak_bytes t);
+    ]
 
 let producer_of t addr =
   if addr < 0 || addr >= max_address then invalid_arg "Shadow: address out of range";

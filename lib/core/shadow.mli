@@ -131,6 +131,12 @@ val footprint_bytes : t -> int
 
 val footprint_peak_bytes : t -> int
 
+(** Deterministic [shadow.*] telemetry samples: chunk allocations, live /
+    peak chunk counts, evictions, coalesced range-operation counters, the
+    power-of-two read-size histogram, and the peak footprint. All values
+    derive from the guest event stream only. *)
+val telemetry : t -> Telemetry.sample list
+
 (** [producer_of t addr] peeks at the current producer without recording a
     read; [None] if the byte has no live shadow. Test/debug helper. *)
 val producer_of : t -> int -> Dbi.Context.id option

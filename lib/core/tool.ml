@@ -22,6 +22,7 @@ type t = {
   line : Line_shadow.t option;
   log : Event_log.t option; (* in-memory sink, when we own one *)
   sink : Event_log.sink option; (* where produced events flow *)
+  events_dispatched : int ref; (* telemetry: entries pushed into the sink *)
   mutable stack : frame list; (* innermost first; bottom = synthetic root *)
 }
 
@@ -40,6 +41,14 @@ let create ?(options = Options.default) ?event_sink machine =
         (Some log, Some (Event_log.memory_sink log))
       else (None, None)
   in
+  let events_dispatched = ref 0 in
+  let sink =
+    Option.map
+      (fun emit e ->
+        incr events_dispatched;
+        emit e)
+      sink
+  in
   let shadow =
     Shadow.create ~reuse:options.Options.reuse_mode ~track_writer_call:(sink <> None)
       ?max_chunks:options.Options.max_chunks ~sink:(Reuse.sink reuse) ()
@@ -56,6 +65,7 @@ let create ?(options = Options.default) ?event_sink machine =
       | None -> None);
     log;
     sink;
+    events_dispatched;
     stack = [ new_frame Dbi.Context.root 0 ];
   }
 
@@ -228,3 +238,15 @@ let event_log t = t.log
 let shadow_footprint_bytes t = Shadow.footprint_bytes t.shadow
 let shadow_footprint_peak_bytes t = Shadow.footprint_peak_bytes t.shadow
 let shadow_evictions t = Shadow.evictions t.shadow
+
+let telemetry t =
+  let unique, total = Profile.totals t.profile in
+  Shadow.telemetry t.shadow
+  @ (match t.line with Some line -> Line_shadow.telemetry line | None -> [])
+  @ Telemetry.
+      [
+        count "events.dispatched" !(t.events_dispatched);
+        count "profile.unique_read_bytes" unique;
+        count "profile.read_bytes" total;
+        gauge "profile.contexts" (List.length (Profile.contexts t.profile));
+      ]

@@ -46,3 +46,8 @@ val event_log : t -> Event_log.t option
 val shadow_footprint_bytes : t -> int
 val shadow_footprint_peak_bytes : t -> int
 val shadow_evictions : t -> int
+
+(** Deterministic telemetry for this run: the [shadow.*] samples, the
+    [line.*] samples when line mode is active, events dispatched into the
+    sink, and the profile's unique/total read bytes. *)
+val telemetry : t -> Telemetry.sample list

@@ -258,6 +258,23 @@ let syscall t name ~reads ~writes =
   List.iter (touch write) writes;
   leave t
 
+let telemetry t =
+  Telemetry.
+    [
+      count "machine.instructions" t.now;
+      count "machine.int_ops" t.int_ops;
+      count "machine.fp_ops" t.fp_ops;
+      count "machine.reads" t.reads;
+      count "machine.writes" t.writes;
+      count "machine.read_bytes" t.read_bytes;
+      count "machine.written_bytes" t.written_bytes;
+      count "machine.branches" t.branches;
+      count "machine.calls" t.calls;
+      count "machine.syscalls" t.syscalls;
+      gauge "machine.contexts" (Context.count t.contexts);
+      gauge "machine.symbols" (Symbol.count t.symbols);
+    ]
+
 let finish t =
   if t.stack <> [] then invalid_arg "Machine.finish: calls still live";
   if not t.finished then begin

@@ -109,3 +109,8 @@ val finish : t -> unit
 
 (** [is_syscall_fn name] recognizes the pseudo-function naming convention. *)
 val is_syscall_fn : string -> bool
+
+(** Deterministic [machine.*] telemetry samples: the retired-instruction
+    clock, every aggregate event counter, and the context/symbol table
+    sizes. *)
+val telemetry : t -> Telemetry.sample list

@@ -7,9 +7,11 @@ external monotonic_ns : unit -> int64 = "dbi_monotonic_ns"
 
 let monotonic_s () = Int64.to_float (monotonic_ns ()) /. 1e9
 
-let run ?(stripped = false) ?call_overhead ?budget ?timeout_s ?(tools = []) workload =
+let run ?(stripped = false) ?call_overhead ?budget ?timeout_s ?(tools = []) ?on_start workload
+    =
   let machine = Machine.create ~stripped ?call_overhead ?budget ?timeout_s () in
   List.iter (fun make -> Machine.attach machine (make machine)) tools;
+  (match on_start with Some f -> f machine | None -> ());
   let t0 = monotonic_s () in
   workload machine;
   Machine.finish machine;

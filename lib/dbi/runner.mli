@@ -22,13 +22,17 @@ val monotonic_s : unit -> float
     Valgrind-style). [Machine.finish] is called on normal return.
     [budget] / [timeout_s] arm the machine's run guards; when a guard
     trips, the corresponding {!Machine.Budget_exhausted} or
-    {!Machine.Timeout} escapes from this call. *)
+    {!Machine.Timeout} escapes from this call. [on_start] is invoked with
+    the machine after the tools attach and before the workload begins —
+    a progress reporter can hold onto it and sample the clock from another
+    domain while the run executes. *)
 val run :
   ?stripped:bool ->
   ?call_overhead:int ->
   ?budget:int ->
   ?timeout_s:float ->
   ?tools:(Machine.t -> Tool.t) list ->
+  ?on_start:(Machine.t -> unit) ->
   (Machine.t -> unit) ->
   result
 

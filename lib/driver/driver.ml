@@ -1,3 +1,5 @@
+module Progress = Progress
+
 type run = {
   workload : Workloads.Workload.t;
   scale : Workloads.Scale.t;
@@ -5,6 +7,7 @@ type run = {
   sigil : Sigil.Tool.t option;
   callgrind : Callgrind.Tool.t option;
   elapsed_s : float;
+  stats : Telemetry.snapshot option;
 }
 
 type fault_policy = Fail_fast | Isolate
@@ -37,7 +40,8 @@ module Run_error = struct
 end
 
 let run_workload ?(options = Sigil.Options.default) ?event_sink ?(with_sigil = true)
-    ?(with_callgrind = false) ?(stripped = false) (workload : Workloads.Workload.t) scale =
+    ?(with_callgrind = false) ?(stripped = false) ?on_start (workload : Workloads.Workload.t)
+    scale =
   let sigil_tool = ref None in
   let callgrind_tool = ref None in
   let tools =
@@ -59,18 +63,34 @@ let run_workload ?(options = Sigil.Options.default) ?event_sink ?(with_sigil = t
       ]
     else []
   in
+  (* tool refs are filled during attachment, so the runner's hook can hand
+     a progress reporter the live tool state as well as the machine *)
+  let on_start =
+    Option.map (fun f -> fun machine -> f machine !sigil_tool) on_start
+  in
   let r =
     Dbi.Runner.run ~stripped ?budget:options.Sigil.Options.instr_budget
-      ?timeout_s:options.Sigil.Options.timeout_s ~tools (fun m ->
+      ?timeout_s:options.Sigil.Options.timeout_s ~tools ?on_start (fun m ->
         workload.Workloads.Workload.run m scale)
+  in
+  let machine = r.Dbi.Runner.machine in
+  let stats =
+    if options.Sigil.Options.collect_stats then
+      Some
+        (Telemetry.of_samples
+           (Dbi.Machine.telemetry machine
+           @ (match !sigil_tool with Some t -> Sigil.Tool.telemetry t | None -> [])
+           @ [ Telemetry.seconds "run.elapsed_s" r.Dbi.Runner.elapsed_s ]))
+    else None
   in
   {
     workload;
     scale;
-    machine = r.Dbi.Runner.machine;
+    machine;
     sigil = !sigil_tool;
     callgrind = !callgrind_tool;
     elapsed_s = r.Dbi.Runner.elapsed_s;
+    stats;
   }
 
 let run_named ?options ?with_sigil ?with_callgrind name scale =
@@ -100,9 +120,9 @@ let job ?(options = Sigil.Options.default) ?event_sink ?(with_sigil = true)
     j_stripped = stripped;
   }
 
-let run_job j =
+let run_job ?on_start j =
   run_workload ~options:j.j_options ?event_sink:j.j_event_sink ~with_sigil:j.j_with_sigil
-    ~with_callgrind:j.j_with_callgrind ~stripped:j.j_stripped j.j_workload j.j_scale
+    ~with_callgrind:j.j_with_callgrind ~stripped:j.j_stripped ?on_start j.j_workload j.j_scale
 
 let classify = function
   | Dbi.Machine.Timeout { limit_s; now } -> Run_error.Timeout { limit_s; now }
@@ -112,8 +132,8 @@ let classify = function
 (* Under [Isolate] the exception (with its backtrace) is captured inside the
    task, so from [Pool]'s point of view every task returns normally — a
    crashing workload can never take the rest of the batch down with it. *)
-let attempt j =
-  match run_job j with
+let attempt ?on_start j =
+  match run_job ?on_start j with
   | r -> Ok r
   | exception e ->
     let bt = Printexc.get_raw_backtrace () in
@@ -129,17 +149,31 @@ let attempt j =
    tool layer is global), so fanning a batch across domains is safe and —
    because [Pool.map] preserves submission order — bit-identical to the
    sequential loop. *)
-let run_many ?pool ?(fault_policy = Fail_fast) jobs =
-  let task =
+let run_many ?pool ?progress ?(fault_policy = Fail_fast) jobs =
+  let attempt_one =
     match fault_policy with
-    | Fail_fast -> fun j -> Ok (run_job j)
+    | Fail_fast -> fun ?on_start j -> Ok (run_job ?on_start j)
     | Isolate -> attempt
+  in
+  let task =
+    match progress with
+    | None -> fun j -> attempt_one j
+    | Some p ->
+      fun j ->
+        let h =
+          Progress.start p ~workload:j.j_workload.Workloads.Workload.name
+            ~scale:(Workloads.Scale.name j.j_scale)
+        in
+        let result = attempt_one ~on_start:(Progress.attach h) j in
+        Progress.finish p h ~ok:(Result.is_ok result);
+        result
   in
   match pool with
   | None -> List.map task jobs
   | Some p -> Pool.map p task jobs
 
-let run_suite ?pool ?fault_policy ?options ?with_sigil ?with_callgrind ?stripped specs =
+let run_suite ?pool ?progress ?fault_policy ?options ?with_sigil ?with_callgrind ?stripped
+    specs =
   let resolved =
     List.map
       (fun (name, scale) ->
@@ -150,7 +184,7 @@ let run_suite ?pool ?fault_policy ?options ?with_sigil ?with_callgrind ?stripped
         | Ok w -> Ok (job ?options ?with_sigil ?with_callgrind ?stripped w scale))
       specs
   in
-  let runs = run_many ?pool ?fault_policy (List.filter_map Result.to_option resolved) in
+  let runs = run_many ?pool ?progress ?fault_policy (List.filter_map Result.to_option resolved) in
   (* zip the results back over the resolution errors, preserving order *)
   let rec rebuild resolved runs =
     match (resolved, runs) with
@@ -187,3 +221,75 @@ let fn_name run ctx =
     Dbi.Symbol.name
       (Dbi.Machine.symbols run.machine)
       (Dbi.Context.fn (Dbi.Machine.contexts run.machine) ctx)
+
+module Stats = struct
+  let of_run r = Option.value r.stats ~default:Telemetry.empty
+
+  (* Submission-order fold; [Telemetry.merge] is associative and
+     commutative, so this equals any other merge order — the aggregate of a
+     [-j 8] batch is bit-identical to the sequential one. Suite shape
+     counters are deterministic; pool accounting (when a pool was used) is
+     wall-clock by construction. *)
+  let aggregate ?pool results =
+    let per_run =
+      List.fold_left
+        (fun acc -> function
+          | Ok r -> Telemetry.merge acc (of_run r)
+          | Error _ -> acc)
+        Telemetry.empty results
+    in
+    let shape =
+      Telemetry.of_samples
+        [
+          Telemetry.count "suite.runs" (List.length results);
+          Telemetry.count "suite.failures"
+            (List.length (List.filter Result.is_error results));
+        ]
+    in
+    let pool_samples =
+      match pool with
+      | Some p -> Telemetry.of_samples (Pool.telemetry p)
+      | None -> Telemetry.empty
+    in
+    Telemetry.merge (Telemetry.merge per_run shape) pool_samples
+
+  let run_json ~wall name result =
+    match result with
+    | Error e ->
+      Printf.sprintf "    {\"workload\": %S, \"ok\": false, \"error\": %S}" name
+        (Run_error.to_string e)
+    | Ok r ->
+      let s = of_run r in
+      let det = Telemetry.json_object ~indent:"      " (Telemetry.deterministic s) in
+      if wall then
+        Printf.sprintf
+          "    {\"workload\": %S, \"ok\": true, \"deterministic\": %s, \"wall_clock\": %s}"
+          name det
+          (Telemetry.json_object ~indent:"      " (Telemetry.wall s))
+      else Printf.sprintf "    {\"workload\": %S, \"ok\": true, \"deterministic\": %s}" name det
+
+  let to_json ?(wall = true) ?pool ~scale named_results =
+    let agg = aggregate ?pool (List.map snd named_results) in
+    let agg = if wall then agg else Telemetry.deterministic agg in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\n  \"schema\": \"sigil-stats/1\",\n";
+    Buffer.add_string buf (Printf.sprintf "  \"scale\": %S,\n" (Workloads.Scale.name scale));
+    Buffer.add_string buf "  \"runs\": [\n";
+    Buffer.add_string buf
+      (String.concat ",\n"
+         (List.map (fun (name, result) -> run_json ~wall name result) named_results));
+    Buffer.add_string buf "\n  ],\n";
+    Buffer.add_string buf
+      (Printf.sprintf "  \"aggregate\": %s\n}\n" (Telemetry.to_json agg));
+    Buffer.contents buf
+
+  (* Same crash-safety discipline as profile/trace artifacts: write the
+     whole file to [path.tmp], then atomically rename. *)
+  let write_json ?wall ?pool ~scale named_results path =
+    let json = to_json ?wall ?pool ~scale named_results in
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    output_string oc json;
+    close_out oc;
+    Sys.rename tmp path
+end

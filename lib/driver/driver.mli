@@ -2,6 +2,9 @@
     runs a named workload under the requested tool combination and hands
     back the finished tool states. *)
 
+(** Re-export: the suite-run heartbeat lives in the same library. *)
+module Progress = Progress
+
 type run = {
   workload : Workloads.Workload.t;
   scale : Workloads.Scale.t;
@@ -9,19 +12,29 @@ type run = {
   sigil : Sigil.Tool.t option;
   callgrind : Callgrind.Tool.t option;
   elapsed_s : float; (** host seconds for the instrumented run *)
+  stats : Telemetry.snapshot option;
+      (** run telemetry, assembled at run end when [Options.collect_stats]
+          was set: the machine's [machine.*] samples, the Sigil tool's
+          [shadow.*]/[line.*]/[events.*]/[profile.*] samples, and the
+          wall-clock [run.elapsed_s]. The deterministic section is
+          bit-identical between sequential and pooled executions of the
+          same job. *)
 }
 
 (** [run_workload ?options ?event_sink ?with_sigil ?with_callgrind
     ?stripped w scale] executes one guest run with the selected tools
     attached. [event_sink] streams produced events out of the tool as the
     run executes (see [Sigil.Tool.create]); a sink is stateful, so give
-    each run its own. *)
+    each run its own. [on_start] fires once the machine exists and tools
+    are attached, just before the workload runs — the progress heartbeat
+    hooks in here. *)
 val run_workload :
   ?options:Sigil.Options.t ->
   ?event_sink:Sigil.Event_log.sink ->
   ?with_sigil:bool ->
   ?with_callgrind:bool ->
   ?stripped:bool ->
+  ?on_start:(Dbi.Machine.t -> Sigil.Tool.t option -> unit) ->
   Workloads.Workload.t ->
   Workloads.Scale.t ->
   run
@@ -88,13 +101,19 @@ val job :
   Workloads.Scale.t ->
   job
 
-(** [run_many ?pool ?fault_policy jobs] executes the batch ([pool = None]
-    runs in the calling domain) and returns results in submission order.
-    Under the default [Fail_fast] every element is [Ok] (a failing job
-    raises out of the call); under [Isolate] failed jobs come back as
-    [Error] and the rest of the batch completes. *)
+(** [run_many ?pool ?progress ?fault_policy jobs] executes the batch
+    ([pool = None] runs in the calling domain) and returns results in
+    submission order. Under the default [Fail_fast] every element is [Ok]
+    (a failing job raises out of the call); under [Isolate] failed jobs
+    come back as [Error] and the rest of the batch completes. [progress]
+    reports each job's start/finish (and live clock, via the run-start
+    hook) to a {!Progress.t} heartbeat; it never influences results. *)
 val run_many :
-  ?pool:Pool.t -> ?fault_policy:fault_policy -> job list -> (run, Run_error.t) result list
+  ?pool:Pool.t ->
+  ?progress:Progress.t ->
+  ?fault_policy:fault_policy ->
+  job list ->
+  (run, Run_error.t) result list
 
 (** [run_suite ?pool ?fault_policy ... specs] is {!run_many} over named
     workloads: each [(name, scale)] resolves first (unknown names become
@@ -103,6 +122,7 @@ val run_many :
     with [specs]. *)
 val run_suite :
   ?pool:Pool.t ->
+  ?progress:Progress.t ->
   ?fault_policy:fault_policy ->
   ?options:Sigil.Options.t ->
   ?with_sigil:bool ->
@@ -130,3 +150,40 @@ val critpath : run -> Analysis.Critpath.t
 
 (** [fn_name run ctx] renders a context's function name. *)
 val fn_name : run -> Dbi.Context.id -> string
+
+(** Telemetry aggregation and the [--stats-out] JSON artifact. *)
+module Stats : sig
+  (** [of_run r] is the run's snapshot ([Telemetry.empty] when the job ran
+      without [Options.collect_stats]). *)
+  val of_run : run -> Telemetry.snapshot
+
+  (** [aggregate ?pool results] folds every successful run's snapshot in
+      submission order (merge is associative and commutative, so the result
+      is independent of execution interleaving), adds the deterministic
+      suite-shape counters [suite.runs] / [suite.failures], and appends the
+      pool's wall-clock accounting when a pool was used. *)
+  val aggregate : ?pool:Pool.t -> (run, Run_error.t) result list -> Telemetry.snapshot
+
+  (** [to_json ?wall ?pool ~scale named_results] renders the
+      ["sigil-stats/1"] document (see docs/FORMATS.md): schema tag, scale,
+      one entry per run in submission order, and the aggregate.
+      [wall = false] omits every wall-clock section, making the bytes a
+      pure function of the deterministic metrics — two files from a [-j 1]
+      and a [-j 8] run of the same suite compare equal with [cmp]. *)
+  val to_json :
+    ?wall:bool ->
+    ?pool:Pool.t ->
+    scale:Workloads.Scale.t ->
+    (string * (run, Run_error.t) result) list ->
+    string
+
+  (** [write_json ?wall ?pool ~scale named_results path] writes {!to_json}
+      crash-safely ([path.tmp] then atomic rename). *)
+  val write_json :
+    ?wall:bool ->
+    ?pool:Pool.t ->
+    scale:Workloads.Scale.t ->
+    (string * (run, Run_error.t) result) list ->
+    string ->
+    unit
+end

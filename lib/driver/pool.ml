@@ -5,6 +5,12 @@ type t = {
   mutable stopping : bool;
   mutable workers : unit Domain.t list;
   size : int;
+  (* accounting: all atomics are preallocated at [create] so the per-task
+     hot path is two fetch-and-adds and a DLS read — no allocation *)
+  tasks : int Atomic.t;
+  batches : int Atomic.t;
+  per_domain : int Atomic.t array; (* slot 0 = caller, 1.. = workers *)
+  slot : int Domain.DLS.key;
 }
 
 let default_cap = 8
@@ -42,9 +48,17 @@ let create ?(domains = recommended ()) () =
       stopping = false;
       workers = [];
       size = domains;
+      tasks = Atomic.make 0;
+      batches = Atomic.make 0;
+      per_domain = Array.init domains (fun _ -> Atomic.make 0);
+      slot = Domain.DLS.new_key (fun () -> 0);
     }
   in
-  t.workers <- List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.workers <-
+    List.init (domains - 1) (fun i ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set t.slot (i + 1);
+            worker_loop t));
   t
 
 let size t = t.size
@@ -63,6 +77,8 @@ let map t f items =
     let remaining = ref n in (* protected by t.lock *)
     let batch_done = Condition.create () in
     let task i () =
+      Atomic.incr t.tasks;
+      Atomic.incr t.per_domain.(Domain.DLS.get t.slot);
       let cell =
         match f items.(i) with
         | v -> Done v
@@ -74,6 +90,7 @@ let map t f items =
       if !remaining = 0 then Condition.broadcast batch_done;
       Mutex.unlock t.lock
     in
+    Atomic.incr t.batches;
     Mutex.lock t.lock;
     if t.stopping then begin
       Mutex.unlock t.lock;
@@ -114,6 +131,27 @@ let map t f items =
   end
 
 let run t thunks = map t (fun f -> f ()) thunks
+let tasks t = Atomic.get t.tasks
+let batches t = Atomic.get t.batches
+let task_counts t = Array.map Atomic.get t.per_domain
+
+(* All pool metrics live in the Wall domain: a sequential driver run spawns
+   no pool at all, and which domain drains which task is a scheduler
+   accident — so none of this may leak into the deterministic section. *)
+let telemetry t =
+  let per =
+    Array.to_list
+      (Array.mapi
+         (fun i c -> Telemetry.count ~domain:Telemetry.Wall (Printf.sprintf "pool.tasks_domain%d" i) (Atomic.get c))
+         t.per_domain)
+  in
+  Telemetry.
+    [
+      gauge ~domain:Wall "pool.domains" t.size;
+      count ~domain:Wall "pool.tasks" (Atomic.get t.tasks);
+      count ~domain:Wall "pool.batches" (Atomic.get t.batches);
+    ]
+  @ per
 
 let shutdown t =
   Mutex.lock t.lock;

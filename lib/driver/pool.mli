@@ -52,6 +52,29 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [run pool thunks] is [map pool (fun f -> f ()) thunks]. *)
 val run : t -> (unit -> 'a) list -> 'a list
 
+(** {2 Accounting}
+
+    The pool counts work with atomics preallocated at {!create}; the
+    per-task cost is two fetch-and-adds and a domain-local read, with no
+    allocation on the task path (asserted by [test_pool.ml] with
+    [Gc.minor_words]). *)
+
+(** Tasks executed over the pool's lifetime. *)
+val tasks : t -> int
+
+(** [map]/[run] batches submitted. *)
+val batches : t -> int
+
+(** Per-domain task counts: slot 0 is the submitting (caller) domain, slots
+    [1 .. size-1] the spawned workers. Sums to {!tasks}. *)
+val task_counts : t -> int array
+
+(** [pool.*] telemetry samples. All of them are wall-clock domain: which
+    domain drains which task is a host scheduling accident, and a
+    sequential run has no pool at all, so none of this may appear in the
+    deterministic section. *)
+val telemetry : t -> Telemetry.sample list
+
 (** [shutdown pool] drains nothing: it asks idle workers to exit and joins
     them. Calling {!map} afterwards raises; shutdown is idempotent. *)
 val shutdown : t -> unit

@@ -12,6 +12,8 @@ type t = {
   mutable index_rev : (int * int * int) list; (* offset, entries, payload bytes *)
   mutable chunks_since_ckpt : int;
   mutable peak_buffer : int;
+  mutable checkpoints : int;
+  chunk_payload : Telemetry.Hist.t; (* payload bytes per flushed chunk *)
   mutable closed : bool;
 }
 
@@ -51,6 +53,8 @@ let create ?(chunk_bytes = Frame.default_chunk_bytes)
     index_rev = [];
     chunks_since_ckpt = 0;
     peak_buffer = 0;
+    checkpoints = 0;
+    chunk_payload = Telemetry.Hist.create ();
     closed = false;
   }
 
@@ -78,6 +82,7 @@ let write_checkpoint t =
   Buffer.output_buffer t.oc t.head;
   output_bytes t.oc payload;
   Buffer.clear t.head;
+  t.checkpoints <- t.checkpoints + 1;
   (* bound what a SIGKILL can lose to one checkpoint interval *)
   flush t.oc
 
@@ -95,6 +100,7 @@ let flush_chunk t =
     Buffer.output_buffer t.oc t.head;
     output_bytes t.oc payload;
     t.index_rev <- (offset, t.chunk_entries, payload_len) :: t.index_rev;
+    Telemetry.Hist.observe t.chunk_payload payload_len;
     t.chunk_entries <- 0;
     (* each chunk decodes independently *)
     Frame.reset t.delta;
@@ -119,6 +125,19 @@ let entries t = t.total_entries
 let chunks t = List.length t.index_rev
 let peak_buffer_bytes t = t.peak_buffer
 let bytes_written t = if t.closed then 0 else pos_out t.oc + Buffer.length t.buf
+
+(* Everything here is a pure function of the entry stream and the writer
+   configuration, so the samples are deterministic (the sequential event
+   trace itself is). *)
+let telemetry t =
+  Telemetry.
+    [
+      count "trace.entries" t.total_entries;
+      count "trace.chunks" (List.length t.index_rev);
+      count "trace.checkpoints" t.checkpoints;
+      peak "trace.peak_buffer_bytes" t.peak_buffer;
+      hist "trace.chunk_payload_bytes" t.chunk_payload;
+    ]
 
 let write_tables_raw t ~names ~stripped ~ctx_parent ~ctx_fn =
   let b = t.head in

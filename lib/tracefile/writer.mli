@@ -52,6 +52,12 @@ val peak_buffer_bytes : t -> int
     after a byte budget. *)
 val bytes_written : t -> int
 
+(** Deterministic [trace.*] telemetry samples: entries, flushed chunks,
+    index checkpoints, the buffer high-water mark, and the chunk-payload
+    size histogram — all pure functions of the entry stream and the writer
+    configuration. *)
+val telemetry : t -> Telemetry.sample list
+
 (** [close ?symbols ?contexts w] flushes the final chunk, writes the
     embedded tables (empty when omitted, e.g. for converted text traces
     whose producing run is gone), the chunk index and the trailer, closes

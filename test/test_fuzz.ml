@@ -249,6 +249,123 @@ let prop_range_matches_per_byte_limited =
          = Sigil.Reuse.version_bins (Sigil.Tool.reuse per_byte)
       && Sigil.Tool.shadow_evictions range = Sigil.Tool.shadow_evictions per_byte)
 
+(* Single-tool runner for the line-shadow and telemetry properties. *)
+let run_one options prog =
+  let sigil = ref None in
+  let _ =
+    Dbi.Runner.run ~call_overhead:0
+      ~tools:
+        [
+          (fun m ->
+            let t = Sigil.Tool.create ~options m in
+            sigil := Some t;
+            Sigil.Tool.tool t);
+        ]
+      (fun m -> interp m prog)
+  in
+  Option.get !sigil
+
+(* Reference model for the line shadow: per-line access counts computed
+   straight off the action list, independent of any shadow machinery. *)
+let rec line_counts tbl line_bits prog =
+  List.iter
+    (function
+      | Read (a, s) | Write (a, s) ->
+        for line = a lsr line_bits to (a + s - 1) lsr line_bits do
+          Hashtbl.replace tbl line (1 + Option.value ~default:0 (Hashtbl.find_opt tbl line))
+        done
+      | Call p -> line_counts tbl line_bits p
+      | Op _ | Fp _ | Branch _ -> ())
+    prog.actions
+
+let line_shadow_matches_reference line_size line_bits prog =
+  let t = run_one (Sigil.Options.with_line_size Sigil.Options.default line_size) prog in
+  let line = Option.get (Sigil.Tool.line_shadow t) in
+  let tbl = Hashtbl.create 256 in
+  line_counts tbl line_bits prog;
+  let c = Dbi.Machine.counters (Sigil.Tool.machine t) in
+  let s = Telemetry.of_samples (Sigil.Tool.telemetry t) in
+  Sigil.Line_shadow.lines line = Hashtbl.length tbl
+  && List.for_all
+       (fun (r : Sigil.Line_shadow.line_record) ->
+         Hashtbl.find_opt tbl r.Sigil.Line_shadow.line_addr
+         = Some r.Sigil.Line_shadow.accesses)
+       (Sigil.Line_shadow.records line)
+  && Telemetry.get_int s "line.touches" = c.Dbi.Machine.reads + c.Dbi.Machine.writes
+  && Telemetry.get_int s "line.accesses"
+     = Hashtbl.fold (fun _ n acc -> acc + n) tbl 0
+
+(* At 1-byte lines the line shadow IS a byte shadow: its records must agree
+   exactly with the per-byte access counts of the action trace. *)
+let prop_line_shadow_per_byte =
+  QCheck.Test.make ~name:"line shadow at 1B lines matches per-byte reference" ~count:100
+    arbitrary (fun prog -> line_shadow_matches_reference 1 0 prog)
+
+(* Aligned accesses: every access covers exactly one 8-byte line, so the
+   line-granularity and byte-granularity views must coincide line for
+   line (the arena base is 16-byte aligned). *)
+let gen_aligned_prog =
+  let open QCheck.Gen in
+  let gen_leaf_action =
+    oneof
+      [
+        map (fun n -> Op (1 + n)) (int_range 0 50);
+        map (fun a -> Read (arena + (8 * a), 8)) (int_range 0 ((arena_size / 8) - 1));
+        map (fun a -> Write (arena + (8 * a), 8)) (int_range 0 ((arena_size / 8) - 1));
+      ]
+  in
+  let gen_name = map (fun i -> Printf.sprintf "fn%d" i) (int_range 0 7) in
+  fix
+    (fun self depth ->
+      let action =
+        if depth = 0 then gen_leaf_action
+        else frequency [ (4, gen_leaf_action); (1, map (fun p -> Call p) (self (depth - 1))) ]
+      in
+      map2 (fun name actions -> { name; actions }) gen_name (list_size (int_range 0 12) action))
+    2
+
+let prop_line_shadow_aligned =
+  QCheck.Test.make ~name:"line shadow on aligned accesses matches reference" ~count:100
+    (QCheck.make ~print:print_prog gen_aligned_prog)
+    (fun prog -> line_shadow_matches_reference 8 3 prog)
+
+(* The FIFO memory limit's accounting, read back through telemetry: chunks
+   are conserved (allocated - evicted = live) and the cap really binds. *)
+let prop_memory_limit_accounting =
+  QCheck.Test.make ~name:"FIFO memory limit conserves chunk accounting" ~count:80
+    QCheck.(pair arbitrary (1 -- 3))
+    (fun (prog, cap) ->
+      let t = run_one (Sigil.Options.with_max_chunks Sigil.Options.default cap) prog in
+      let s = Telemetry.of_samples (Sigil.Tool.telemetry t) in
+      let g = Telemetry.get_int s in
+      let c = Dbi.Machine.counters (Sigil.Tool.machine t) in
+      g "shadow.chunks_live" = g "shadow.chunks_allocated" - g "shadow.evictions"
+      && g "shadow.chunks_live" <= cap
+      && g "shadow.chunks_peak" <= cap
+      && g "shadow.evictions" = Sigil.Tool.shadow_evictions t
+      && g "shadow.range_reads" = c.Dbi.Machine.reads
+      && g "shadow.range_read_bytes" = c.Dbi.Machine.read_bytes)
+
+(* Options.collect_stats gates only end-of-run snapshot assembly; the run
+   itself — profile, reuse bins, event log, machine counters — must be
+   bit-identical with it on and off. *)
+let prop_stats_flag_inert =
+  QCheck.Test.make ~name:"stats collection never perturbs the run" ~count:60 arbitrary
+    (fun prog ->
+      let base = Sigil.Options.(with_events (with_reuse default)) in
+      let off = run_one base prog in
+      let on_ = run_one (Sigil.Options.with_stats base) prog in
+      let entries t = Sigil.Event_log.entries (Option.get (Sigil.Tool.event_log t)) in
+      profiles_equal (Sigil.Tool.profile off) (Sigil.Tool.profile on_)
+      && Sigil.Reuse.version_bins (Sigil.Tool.reuse off)
+         = Sigil.Reuse.version_bins (Sigil.Tool.reuse on_)
+      && entries off = entries on_
+      && Dbi.Machine.counters (Sigil.Tool.machine off)
+         = Dbi.Machine.counters (Sigil.Tool.machine on_)
+      && Telemetry.equal
+           (Telemetry.of_samples (Sigil.Tool.telemetry off))
+           (Telemetry.of_samples (Sigil.Tool.telemetry on_)))
+
 let prop_trace_replay_identical =
   QCheck.Test.make ~name:"trace replay reproduces the profile" ~count:40 arbitrary (fun prog ->
       let path = Filename.temp_file "fuzz_trace" ".txt" in
@@ -290,6 +407,10 @@ let () =
             prop_reuse_consistent;
             prop_range_matches_per_byte;
             prop_range_matches_per_byte_limited;
+            prop_line_shadow_per_byte;
+            prop_line_shadow_aligned;
+            prop_memory_limit_accounting;
+            prop_stats_flag_inert;
             prop_trace_replay_identical;
           ] );
     ]

@@ -107,6 +107,60 @@ let test_with_pool_reraises_after_shutdown () =
       Alcotest.(check (list int)) "fresh pool after aborted with_pool" [ 1; 2; 3 ]
         (Pool.map p Fun.id [ 1; 2; 3 ]))
 
+let test_task_accounting () =
+  Pool.with_pool ~domains:3 (fun p ->
+      Alcotest.(check int) "fresh pool: no tasks" 0 (Pool.tasks p);
+      Alcotest.(check int) "fresh pool: no batches" 0 (Pool.batches p);
+      ignore (Pool.map p (fun i -> i) (List.init 100 (fun i -> i)));
+      ignore (Pool.run p [ (fun () -> ()); (fun () -> ()) ]);
+      Alcotest.(check int) "tasks accumulate across batches" 102 (Pool.tasks p);
+      Alcotest.(check int) "one batch per map/run" 2 (Pool.batches p);
+      let counts = Pool.task_counts p in
+      Alcotest.(check int) "one slot per domain" 3 (Array.length counts);
+      Alcotest.(check int) "per-domain counts partition the tasks" 102
+        (Array.fold_left ( + ) 0 counts));
+  (* a 1-domain pool spawns no workers: the caller drains everything *)
+  Pool.with_pool ~domains:1 (fun p ->
+      ignore (Pool.map p (fun i -> i) [ 1; 2; 3 ]);
+      Alcotest.(check (array int)) "caller slot owns every task" [| 3 |] (Pool.task_counts p))
+
+let test_telemetry_wall_only () =
+  Pool.with_pool ~domains:2 (fun p ->
+      ignore (Pool.map p (fun i -> i) [ 1; 2; 3; 4 ]);
+      let samples = Pool.telemetry p in
+      Alcotest.(check bool) "every pool metric is wall-clock" true
+        (List.for_all (fun s -> s.Telemetry.domain = Telemetry.Wall) samples);
+      let s = Telemetry.of_samples samples in
+      Alcotest.(check int) "pool.tasks" 4 (Telemetry.get_int s "pool.tasks");
+      Alcotest.(check int) "pool.batches" 1 (Telemetry.get_int s "pool.batches");
+      Alcotest.(check int) "pool.domains" 2 (Telemetry.get_int s "pool.domains");
+      Alcotest.(check int) "per-domain samples partition the tasks" 4
+        (Telemetry.get_int s "pool.tasks_domain0" + Telemetry.get_int s "pool.tasks_domain1"))
+
+(* The accounting on the task hot path is two fetch-and-adds and a DLS
+   read — it must not allocate. Measured as the per-task minor-heap slope
+   of a batch of no-op tasks on a caller-only pool (1 domain, so every
+   task and its accounting run on the domain whose counter we read); the
+   bound leaves room for the map plumbing (per-task closure, queue cell,
+   result cell) but would trip on any boxing added to the accounting. *)
+let test_accounting_does_not_allocate () =
+  Pool.with_pool ~domains:1 (fun p ->
+      let small = List.init 256 (fun i -> i) in
+      let large = List.init 1024 (fun i -> i) in
+      let f _ = () in
+      ignore (Pool.map p f small);
+      (* warm-up: DLS slot, queue growth *)
+      ignore (Pool.map p f large);
+      let words items =
+        let before = Gc.minor_words () in
+        ignore (Pool.map p f items);
+        Gc.minor_words () -. before
+      in
+      let per_task = (words large -. words small) /. float_of_int (1024 - 256) in
+      Alcotest.(check bool)
+        (Printf.sprintf "per-task minor words %.1f <= 64" per_task)
+        true (per_task <= 64.0))
+
 let test_shutdown () =
   let p = Pool.create ~domains:2 () in
   Pool.shutdown p;
@@ -133,6 +187,10 @@ let () =
             test_failed_nested_map_no_deadlock;
           Alcotest.test_case "with_pool re-raises after shutdown" `Quick
             test_with_pool_reraises_after_shutdown;
+          Alcotest.test_case "task accounting" `Quick test_task_accounting;
+          Alcotest.test_case "telemetry is wall-only" `Quick test_telemetry_wall_only;
+          Alcotest.test_case "accounting does not allocate" `Quick
+            test_accounting_does_not_allocate;
           Alcotest.test_case "shutdown" `Quick test_shutdown;
         ] );
     ]
